@@ -1,0 +1,42 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``test_fig*.py`` file reproduces one table or figure of the paper's
+evaluation (Sec. V).  Benchmark points register their measured wall time
+through :func:`benchmarks.figrecorder.record`; the terminal-summary hook
+below assembles them into the figure-shaped ASCII tables quoted by
+``EXPERIMENTS.md``, so ``pytest benchmarks/ --benchmark-only`` prints both
+pytest-benchmark's per-point statistics and the per-figure series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figrecorder import RESULTS, render_figures, run_and_record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every recorded figure and persist the machine-readable series."""
+    if not RESULTS:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "paper figure reproductions")
+    for block in render_figures():
+        tr.write_line("")
+        tr.write_line(block)
+    tr.write_line("")
+    try:
+        from benchmarks.figrecorder import UNITS
+        from repro.bench.results_io import save_series_json
+
+        out_path = config.rootpath / "benchmark_results.json"
+        save_series_json(RESULTS, out_path, units=UNITS)
+        tr.write_line(f"figure series written to {out_path}")
+    except OSError as exc:  # pragma: no cover - read-only checkouts
+        tr.write_line(f"(could not persist figure series: {exc})")
+
+
+@pytest.fixture(scope="session")
+def recorder():
+    """Expose :func:`run_and_record` to benchmark files as a fixture."""
+    return run_and_record

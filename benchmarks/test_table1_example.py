@@ -1,0 +1,26 @@
+"""Table I: the paper's worked example, as a sanity benchmark.
+
+Verifies every algorithm returns the published result
+{(u1, p1), (u1, p2), (u2, p3)} and measures the (trivial) cost, so the
+bench suite fails loudly if the build is miswired before the long runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import make_algorithm
+from repro.relations.relation import Relation
+
+PROFILES = Relation.from_sets([{1, 3, 5, 6}, {0, 2, 7}, {0, 2, 3}], name="profiles")
+PREFERENCES = Relation.from_sets([{1, 3}, {1, 5, 6}, {0, 2, 7}], name="preferences")
+EXPECTED = {(0, 0), (0, 1), (1, 2)}
+
+
+@pytest.mark.parametrize("algorithm", ["shj", "pretti", "ptsj", "pretti+", "tsj"])
+def test_table1(benchmark, algorithm):
+    def run():
+        return make_algorithm(algorithm).join(PROFILES, PREFERENCES)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.pair_set() == EXPECTED

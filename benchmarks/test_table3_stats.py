@@ -1,0 +1,54 @@
+"""Table III: statistics of the four real-world dataset surrogates.
+
+The paper's Table III reports |R|, average c, median c and d for flickr,
+orkut, twitter and webbase.  The surrogates are scaled down (DESIGN.md §3)
+but must preserve the published *shape*: the cardinality ordering
+flickr < orkut < twitter < webbase, each dataset's mean/median ratio, the
+pruning minima, and twitter's anomalously small domain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figrecorder import record
+from repro.bench.experiments import fig8_datasets
+from repro.datagen.realworld import SURROGATE_SPECS
+from repro.relations.stats import compute_stats
+
+DATASETS = fig8_datasets(base=192, seed=3)
+
+
+@pytest.mark.parametrize("name,r,s", DATASETS, ids=[d[0] for d in DATASETS])
+def test_table3_shape(benchmark, name, r, s):
+    stats = benchmark.pedantic(lambda: compute_stats(r), rounds=1, iterations=1)
+    spec = SURROGATE_SPECS[name]
+    record("table3: avg set cardinality (paper: 5.36 / 57.2 / 66.0 / 462.6)",
+           name, "avg c", stats.avg_cardinality, unit="plain")
+    assert stats.min_cardinality >= spec.min_cardinality
+    assert abs(stats.avg_cardinality - spec.mean_cardinality) < 0.3 * spec.mean_cardinality
+    assert abs(stats.median_cardinality - spec.median_cardinality) <= max(
+        3.0, 0.3 * spec.median_cardinality
+    )
+
+
+def test_table3_cardinality_ordering(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    means = [compute_stats(r).avg_cardinality for _, r, _ in DATASETS]
+    assert means == sorted(means)
+
+
+def test_table3_twitter_domain_small(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    twitter_stats = compute_stats(DATASETS[2][1])
+    webbase_stats = compute_stats(DATASETS[3][1])
+    assert twitter_stats.domain_cardinality < webbase_stats.domain_cardinality
+    assert twitter_stats.domain_cardinality < 20 * twitter_stats.avg_cardinality
+
+
+def test_table3_relative_sizes(benchmark):
+    """|flickr| : |orkut| : |twitter| : |webbase| = 21 : 10.9 : 2.2 : 1."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sizes = [len(r) for _, r, _ in DATASETS]
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes[0] / sizes[3] == pytest.approx(3_550_000 / 169_000, rel=0.05)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Community discovery over membership sets (the paper's orkut scenario).
+
+In the Orkut dataset each person is a tuple whose set is the communities
+they belong to.  The paper notes a set-containment join "can help people
+discover new communities and new friends with similar hobbies":
+
+* **friend suggestion** — person A's memberships contain person B's:
+  everything B joined, A joined too, so B is a strong friend candidate
+  for A (containment join, this file's step 2);
+* **community discovery** — a *superset* join of a user's interest sets
+  against richer members finds people to copy communities from
+  (Sec. III-E2's superset join on the same index, step 3).
+
+This example also demonstrates the disk-based partitioned execution
+(Sec. III-E4) on the same workload, with its quadratic partition I/O
+visible in the stats.
+
+Run:  python examples/community_discovery.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import set_containment_join
+from repro.bench.reporting import fmt_seconds
+from repro.datagen.realworld import orkut_surrogate
+from repro.external.disk_join import disk_partitioned_join
+from repro.extensions.set_index import PatriciaSetIndex
+from repro.extensions.superset import superset_join_on_index
+from repro.relations import compute_stats
+
+SIZE = 600
+
+
+def main() -> None:
+    people = orkut_surrogate(size=SIZE, seed=9)
+    stats = compute_stats(people)
+    print(f"membership relation: {stats.as_table_row()} "
+          f"(min c = {stats.min_cardinality}, like the paper's c >= 10 pruning)")
+
+    # Step 2: friend suggestion by membership containment.
+    result = set_containment_join(people, people, algorithm="auto")
+    print(f"\n{result.stats.algorithm}: {len(result)} containment pairs in "
+          f"{fmt_seconds(result.stats.total_seconds)}")
+    coverage = Counter(r_id for r_id, s_id in result.pairs if r_id != s_id)
+    print("most 'covering' members (their memberships contain most others'):")
+    for person, count in coverage.most_common(3):
+        print(f"  person {person:4d} covers {count} other members "
+              f"({people.get(person).cardinality} communities)")
+
+    # Step 3: superset join on a reusable Patricia index.
+    index = PatriciaSetIndex(people)
+    supersets = superset_join_on_index(people, index)
+    proper = [(a, b) for a, b in supersets.pairs if a != b]
+    print(f"\nsuperset join on the same index: {len(proper)} proper "
+          f"'people to learn communities from' pairs in "
+          f"{fmt_seconds(supersets.stats.probe_seconds)}")
+
+    # Step 4: the same join, disk-partitioned (Sec. III-E4).
+    disk = disk_partitioned_join(people, people, algorithm="ptsj", max_tuples=200)
+    assert disk.pair_set() == result.pair_set()
+    extras = disk.stats.extras
+    print(f"\ndisk-based PTSJ over {int(extras['r_partitions'])}x"
+          f"{int(extras['s_partitions'])} partitions: same {len(disk)} pairs, "
+          f"{int(extras['partition_loads'])} partition loads "
+          f"(quadratic in partition count, as Sec. III-E4 predicts)")
+
+
+if __name__ == "__main__":
+    main()

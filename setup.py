@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package (offline), so PEP 660
+editable installs (which build an editable wheel) cannot run.  This shim
+lets ``pip install -e . --no-use-pep517`` / ``python setup.py develop``
+perform a classic egg-link editable install.  All project metadata lives in
+``pyproject.toml``; this file adds nothing beyond the entry point.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""State-of-the-art baselines the paper compares against (all implemented).
+
+* :class:`~repro.baselines.shj.SHJ` — Signature Hash Join (Sec. II-A).
+* :class:`~repro.baselines.pretti.PRETTI` — prefix-tree set join (Sec. II-B).
+* :class:`~repro.baselines.tsj.TSJ` — Algorithm 4's plain-trie join
+  (ablation; the paper shows it loses to SHJ).
+* :class:`~repro.baselines.nested_loop.NestedLoopJoin` — correctness oracle.
+"""
+
+from repro.baselines.nested_loop import NestedLoopJoin, nested_loop_join_pairs
+from repro.baselines.pretti import PRETTI
+from repro.baselines.shj import SHJ, iter_submasks, optimal_shj_bits
+from repro.baselines.tsj import TSJ
+
+__all__ = [
+    "SHJ",
+    "PRETTI",
+    "TSJ",
+    "NestedLoopJoin",
+    "nested_loop_join_pairs",
+    "iter_submasks",
+    "optimal_shj_bits",
+]

@@ -1,0 +1,49 @@
+"""Naive nested-loop set-containment join — the correctness oracle.
+
+Compares every ``(r, s)`` pair directly with Python's frozenset ``>=``.
+Quadratic and index-free, so it is never competitive, but its output is
+trivially correct; every other algorithm's tests compare against it.
+
+One cheap, safe refinement is applied: a pair is skipped when
+``|s.set| > |r.set|`` (a larger set cannot be contained in a smaller one),
+which does not change the output.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import JoinStats, SetContainmentJoin
+from repro.relations.relation import Relation
+
+__all__ = ["NestedLoopJoin", "nested_loop_join_pairs"]
+
+
+def nested_loop_join_pairs(r: Relation, s: Relation) -> list[tuple[int, int]]:
+    """All ``(r_id, s_id)`` with ``r.set ⊇ s.set``, by exhaustive comparison."""
+    pairs: list[tuple[int, int]] = []
+    s_records = list(s)
+    for r_rec in r:
+        r_set = r_rec.elements
+        r_card = len(r_set)
+        for s_rec in s_records:
+            if s_rec.cardinality <= r_card and s_rec.elements <= r_set:
+                pairs.append((r_rec.rid, s_rec.rid))
+    return pairs
+
+
+class NestedLoopJoin(SetContainmentJoin):
+    """Exhaustive nested-loop join (oracle baseline)."""
+
+    name = "nested-loop"
+
+    def __init__(self) -> None:
+        self._s: Relation | None = None
+
+    def _build(self, r: Relation, s: Relation, stats: JoinStats) -> None:
+        self._s = s
+
+    def _probe(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
+        assert self._s is not None
+        pairs = nested_loop_join_pairs(r, self._s)
+        stats.verifications += len(r) * len(self._s)
+        stats.candidates += len(r) * len(self._s)
+        return pairs

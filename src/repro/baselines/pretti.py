@@ -1,0 +1,77 @@
+"""PRETTI — PREfix Tree based seT joIn (Jampani & Pudi; paper Sec. II-B).
+
+The state-of-the-art IR baseline.  PRETTI builds a prefix tree over the
+sorted sets of ``S`` and an inverted index over ``R``, then performs one
+depth-first traversal of the trie: at every node the running candidate
+list (R-tuples containing all elements on the path so far) is intersected
+with the inverted list of the node's element; tuples resident at the node
+are joined with the whole list (Algorithm 3).  No verification step is
+needed — the candidate list is exact by construction — and results
+computed high in the trie are *reused* by all descendants.
+
+Weaknesses the paper targets with PRETTI+ (Sec. II-B): the one-element-
+per-node trie explodes in memory for high set cardinality, and the trie
+height equals the set cardinality, so traversal cost grows with ``c``.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import JoinStats, SetContainmentJoin
+from repro.index.inverted import InvertedIndex
+from repro.relations.relation import Relation
+from repro.tries.set_trie import SetTrie
+
+__all__ = ["PRETTI"]
+
+
+class PRETTI(SetContainmentJoin):
+    """Prefix-tree set-containment join (Algorithm 3).
+
+    Example:
+        >>> from repro.relations import Relation
+        >>> profiles = Relation.from_sets([{1, 3, 5, 6}, {0, 2, 7}, {0, 2, 3}])
+        >>> prefs = Relation.from_sets([{1, 3}, {1, 5, 6}, {0, 2, 7}])
+        >>> sorted(PRETTI().join(profiles, prefs).pairs)
+        [(0, 0), (0, 1), (1, 2)]
+    """
+
+    name = "pretti"
+
+    def __init__(self) -> None:
+        self.trie: SetTrie | None = None
+        self.index: InvertedIndex | None = None
+
+    def _build(self, r: Relation, s: Relation, stats: JoinStats) -> None:
+        trie = SetTrie()
+        for rec in s:
+            trie.insert(rec.sorted_elements(), rec.rid)
+        self.trie = trie
+        self.index = InvertedIndex(r)
+        stats.index_nodes = trie.node_count()
+
+    def _probe(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
+        """One DFS over the trie (the paper's PRETTIJOIN, made iterative).
+
+        Branches whose candidate list empties are pruned: no descendant can
+        produce output because descendants only ever *shrink* the list.
+        """
+        trie, index = self.trie, self.index
+        assert trie is not None and index is not None
+        pairs: list[tuple[int, int]] = []
+        intersections_before = index.intersection_count
+        visits = 0
+        stack: list[tuple] = [(trie.root, index.all_ids)]
+        while stack:
+            node, current = stack.pop()
+            visits += 1
+            if node.tuples:
+                for s_id in node.tuples:
+                    for r_id in current:
+                        pairs.append((r_id, s_id))
+            for child in node.children.values():
+                child_list = index.refine(current, child.label)
+                if child_list:
+                    stack.append((child, child_list))
+        stats.node_visits += visits
+        stats.intersections += index.intersection_count - intersections_before
+        return pairs

@@ -1,0 +1,122 @@
+"""Experiment harness: timed runs, dataset caching, sweep execution.
+
+The benchmarks under ``benchmarks/`` (one per paper table/figure) all
+drive this module: :func:`run_algorithm` executes one join and captures a
+:class:`RunRecord`; :func:`sweep` runs a whole x-axis sweep for several
+algorithms and returns the series in the shape
+:mod:`repro.bench.reporting` renders.
+
+Datasets are cached per configuration within a process, so a figure's
+several algorithm runs measure the same bytes, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.base import JoinResult, JoinStats
+from repro.core.registry import make_algorithm
+from repro.datagen.synthetic import SyntheticConfig, generate_pair
+from repro.relations.relation import Relation
+
+__all__ = ["RunRecord", "run_algorithm", "dataset_pair", "sweep", "clear_dataset_cache"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunRecord:
+    """Outcome of one timed join execution.
+
+    Attributes:
+        algorithm: Registry name.
+        seconds: End-to-end wall time (median over ``repeats``), including
+            index construction — the paper's reported metric (Sec. V-A4).
+        stats: The :class:`JoinStats` of the median run.
+        pairs: Output size.
+    """
+
+    algorithm: str
+    seconds: float
+    stats: JoinStats
+    pairs: int
+
+
+def run_algorithm(
+    name: str,
+    r: Relation,
+    s: Relation,
+    repeats: int = 1,
+    **kwargs,
+) -> RunRecord:
+    """Execute ``name`` on ``(r, s)`` ``repeats`` times; keep the median run.
+
+    The paper runs each algorithm ten times and reports the average while
+    observing low variance; with pure Python the median over a small
+    ``repeats`` is the steadier statistic.
+    """
+    runs: list[tuple[float, JoinResult]] = []
+    for _ in range(max(repeats, 1)):
+        algorithm = make_algorithm(name, **kwargs)
+        start = time.perf_counter()
+        result = algorithm.join(r, s)
+        runs.append((time.perf_counter() - start, result))
+    runs.sort(key=lambda pair: pair[0])
+    seconds, result = runs[len(runs) // 2]
+    return RunRecord(algorithm=name, seconds=seconds, stats=result.stats, pairs=len(result))
+
+
+_DATASET_CACHE: dict[SyntheticConfig, tuple[Relation, Relation]] = {}
+
+
+def dataset_pair(config: SyntheticConfig) -> tuple[Relation, Relation]:
+    """The (R, S) pair for ``config``, cached per process.
+
+    Benchmarks for one figure call this repeatedly with the same
+    configurations; generation cost must not pollute the timings.
+    """
+    cached = _DATASET_CACHE.get(config)
+    if cached is None:
+        cached = generate_pair(config)
+        _DATASET_CACHE[config] = cached
+    return cached
+
+
+def clear_dataset_cache() -> None:
+    """Drop all cached datasets (frees memory between large sweeps)."""
+    _DATASET_CACHE.clear()
+
+
+def sweep(
+    configs: Sequence[SyntheticConfig],
+    algorithms: Sequence[str],
+    repeats: int = 1,
+    skip: Callable[[str, SyntheticConfig], bool] | None = None,
+    algorithm_kwargs: Mapping[str, dict] | None = None,
+) -> dict[str, list[float | None]]:
+    """Run every algorithm over every configuration of one sweep.
+
+    Args:
+        configs: The x-axis, one dataset configuration per point.
+        algorithms: Registry names to compare.
+        repeats: Timed repetitions per point (median kept).
+        skip: Optional predicate marking infeasible points — e.g. SHJ at
+            very high cardinality, mirroring the paper's "longer than a
+            day" entries.  Skipped points appear as ``None``.
+        algorithm_kwargs: Per-algorithm constructor arguments.
+
+    Returns:
+        ``{algorithm: [seconds_or_None per config]}`` ready for
+        :func:`repro.bench.reporting.format_series`.
+    """
+    kwargs_map = algorithm_kwargs or {}
+    series: dict[str, list[float | None]] = {name: [] for name in algorithms}
+    for config in configs:
+        r, s = dataset_pair(config)
+        for name in algorithms:
+            if skip is not None and skip(name, config):
+                series[name].append(None)
+                continue
+            record = run_algorithm(name, r, s, repeats=repeats, **kwargs_map.get(name, {}))
+            series[name].append(record.seconds)
+    return series

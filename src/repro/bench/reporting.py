@@ -1,0 +1,98 @@
+"""ASCII reporting for benchmark output (tables and x/y series).
+
+The benchmark harness reproduces the paper's tables and figures as text:
+each figure becomes an x-axis sweep with one column per algorithm, each
+table a straight grid.  These helpers keep all benchmarks' output uniform
+so ``EXPERIMENTS.md`` can quote them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_ratios", "fmt_seconds", "fmt_bytes"]
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-scale duration: '12.3ms', '4.56s'."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def fmt_bytes(count: float) -> str:
+    """Human-scale byte count: '532B', '1.4KB', '2.3MB'."""
+    if count < 1024:
+        return f"{count:.0f}B"
+    if count < 1024 ** 2:
+        return f"{count / 1024:.1f}KB"
+    return f"{count / 1024 ** 2:.2f}MB"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a fixed-width table with a header rule.
+
+    >>> print(format_table(["a", "b"], [[1, 22]]))
+    a | b
+    --+---
+    1 | 22
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    value_format=fmt_seconds,
+) -> str:
+    """Render a figure-style sweep: x values as rows, one column per series.
+
+    ``series`` maps a name (algorithm) to its y values, aligned with ``xs``.
+    Missing points may be ``None`` (rendered as '-') — used when an
+    algorithm is skipped at an infeasible configuration.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row: list[object] = [x]
+        for name in series:
+            value = series[name][i]
+            row.append("-" if value is None else value_format(value))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_ratios(
+    title: str,
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """Render a Fig. 8-style ratio chart: time over the per-label best.
+
+    For each label (dataset), every algorithm's value is divided by the
+    smallest value for that label; the winner shows ``1.0x``.
+    """
+    headers = ["dataset"] + list(series)
+    rows = []
+    for i, label in enumerate(labels):
+        values = [series[name][i] for name in series]
+        finite = [v for v in values if v is not None]
+        best = min(finite) if finite else 1.0
+        row: list[object] = [label]
+        for value in values:
+            row.append("-" if value is None else f"{value / best:.1f}x")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,101 @@
+"""Persistence for benchmark figure series (JSON and CSV).
+
+``EXPERIMENTS.md`` quotes the ASCII figures, but downstream analysis wants
+machine-readable output.  A *series bundle* is the same structure the
+benchmark recorder builds: ``{figure: {label: {algorithm: value}}}`` with
+optional per-figure units.  JSON round-trips the whole bundle; CSV flattens
+to ``figure,label,algorithm,value`` rows for spreadsheets.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["save_series_json", "load_series_json", "save_series_csv", "load_series_csv"]
+
+SeriesBundle = dict[str, dict[str, dict[str, float]]]
+
+_FORMAT_VERSION = 1
+
+
+def save_series_json(
+    bundle: Mapping[str, Mapping[str, Mapping[str, float]]],
+    path: str | Path,
+    units: Mapping[str, str] | None = None,
+) -> None:
+    """Write a series bundle (plus optional per-figure units) as JSON."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "units": dict(units or {}),
+        "figures": {
+            figure: {label: dict(algos) for label, algos in by_label.items()}
+            for figure, by_label in bundle.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+
+
+def load_series_json(path: str | Path) -> tuple[SeriesBundle, dict[str, str]]:
+    """Read a bundle written by :func:`save_series_json`.
+
+    Returns:
+        ``(figures, units)``.
+
+    Raises:
+        ReproError: On an unknown format version or malformed payload.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read series bundle {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise ReproError(f"unsupported series bundle format in {path}")
+    figures = payload.get("figures", {})
+    if not isinstance(figures, dict):
+        raise ReproError(f"malformed series bundle in {path}")
+    return figures, dict(payload.get("units", {}))
+
+
+def save_series_csv(
+    bundle: Mapping[str, Mapping[str, Mapping[str, float]]],
+    path: str | Path,
+) -> None:
+    """Flatten a bundle to ``figure,label,algorithm,value`` CSV rows."""
+    with Path(path).open("w", newline="", encoding="utf-8") as out:
+        writer = csv.writer(out)
+        writer.writerow(["figure", "label", "algorithm", "value"])
+        for figure, by_label in bundle.items():
+            for label, algos in by_label.items():
+                for algorithm, value in algos.items():
+                    writer.writerow([figure, label, algorithm, repr(value)])
+
+
+def load_series_csv(path: str | Path) -> SeriesBundle:
+    """Rebuild a bundle from :func:`save_series_csv` output.
+
+    Raises:
+        ReproError: On a malformed header or non-numeric value.
+    """
+    bundle: SeriesBundle = {}
+    with Path(path).open("r", newline="", encoding="utf-8") as src:
+        reader = csv.reader(src)
+        header = next(reader, None)
+        if header != ["figure", "label", "algorithm", "value"]:
+            raise ReproError(f"unexpected CSV header in {path}: {header}")
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 4:
+                raise ReproError(f"{path}:{lineno}: expected 4 columns")
+            figure, label, algorithm, raw = row
+            try:
+                value = float(raw)
+            except ValueError as exc:
+                raise ReproError(f"{path}:{lineno}: non-numeric value {raw!r}") from exc
+            bundle.setdefault(figure, {}).setdefault(label, {})[algorithm] = value
+    return bundle

@@ -1,0 +1,260 @@
+"""Command-line interface: ``repro-scj``.
+
+Subcommands:
+
+* ``generate`` — write a synthetic or surrogate dataset to a text file;
+* ``stats`` — print Table III-style statistics of a dataset file;
+* ``join`` — run a set-containment join between two dataset files;
+* ``bench`` — run one of the paper's experiments and print its figure.
+
+Examples::
+
+    repro-scj generate --size 1024 --cardinality 16 --domain 16384 -o r.txt
+    repro-scj generate --dataset flickr --size 2000 -o flickr.txt
+    repro-scj stats r.txt
+    repro-scj join r.txt s.txt --algorithm ptsj
+    repro-scj bench fig6c
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments, harness, memory, reporting
+from repro.core.registry import available_algorithms, set_containment_join
+from repro.datagen.realworld import SURROGATE_SPECS, make_surrogate
+from repro.datagen.synthetic import SyntheticConfig, generate_relation
+from repro.errors import ReproError
+from repro.relations.io import read_relation, write_join_result, write_relation
+from repro.relations.stats import compute_stats
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scj",
+        description="Trie-based set-containment joins (Luo et al., ICDE 2015).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a dataset file")
+    gen.add_argument("--size", type=int, default=1024, help="relation size |R|")
+    gen.add_argument("--cardinality", type=int, default=16, help="average set cardinality c")
+    gen.add_argument("--domain", type=int, default=2 ** 14, help="domain cardinality d")
+    gen.add_argument("--cardinality-dist", default="uniform",
+                     choices=("uniform", "poisson", "zipf"))
+    gen.add_argument("--element-dist", default="uniform",
+                     choices=("uniform", "poisson", "zipf"))
+    gen.add_argument("--dataset", choices=sorted(SURROGATE_SPECS),
+                     help="generate a real-world surrogate instead")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True, help="output path (set per line)")
+
+    stat = sub.add_parser("stats", help="print dataset statistics (Table III columns)")
+    stat.add_argument("path", help="dataset file, one set per line")
+
+    join = sub.add_parser("join", help="run a set-containment join R >= S")
+    join.add_argument("r", help="probe relation file (containing side)")
+    join.add_argument("s", help="indexed relation file (contained side)")
+    join.add_argument("--algorithm", default="auto",
+                      help=f"auto or one of: {', '.join(available_algorithms())}")
+    join.add_argument("--bits", type=int, default=None,
+                      help="signature length override (signature algorithms)")
+    join.add_argument("--strategy", default="memory",
+                      choices=("memory", "disk", "psj", "parallel"),
+                      help="execution strategy: in-memory (default), the "
+                           "Sec. III-E4 disk-partitioned nested loop, the "
+                           "PSJ-style pick partitioning, or multi-process")
+    join.add_argument("--partitions", type=int, default=8,
+                      help="partition count (disk: tuples per partition "
+                           "= |S| / partitions; psj/parallel: partitions)")
+    join.add_argument("-o", "--output", help="write pairs to this file")
+
+    bench = sub.add_parser("bench", help="run a paper experiment")
+    bench.add_argument("experiment",
+                       choices=("fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
+                                "fig6d", "fig6e", "fig6f", "fig7a", "fig7b",
+                                "fig7c", "fig7d", "fig8"),
+                       help="paper figure to reproduce")
+    bench.add_argument("--base", type=int, default=None,
+                       help="base relation size (default: module default)")
+    bench.add_argument("--repeats", type=int, default=1)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset:
+        relation = make_surrogate(args.dataset, args.size, seed=args.seed)
+    else:
+        relation = generate_relation(
+            SyntheticConfig(
+                size=args.size,
+                avg_cardinality=args.cardinality,
+                domain=args.domain,
+                cardinality_dist=args.cardinality_dist,
+                element_dist=args.element_dist,
+                seed=args.seed,
+            )
+        )
+    write_relation(relation, args.output)
+    stats = compute_stats(relation)
+    print(f"wrote {stats.size} tuples to {args.output} "
+          f"(avg c={stats.avg_cardinality:.2f}, d={stats.domain_cardinality})")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = compute_stats(read_relation(args.path))
+    rows = [[key, value] for key, value in stats.as_table_row().items()]
+    rows.append(["c min/max", f"{stats.min_cardinality}/{stats.max_cardinality}"])
+    rows.append(["duplicate sets", stats.duplicate_sets])
+    rows.append(["recommended", stats.recommended_algorithm()])
+    print(reporting.format_table(["statistic", "value"], rows, title=args.path))
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    r = read_relation(args.r)
+    s = read_relation(args.s)
+    kwargs = {}
+    if args.bits is not None:
+        kwargs["bits"] = args.bits
+    algorithm = args.algorithm
+    start = time.perf_counter()
+    if args.strategy == "memory":
+        result = set_containment_join(r, s, algorithm=algorithm, **kwargs)
+    else:
+        from repro.core.registry import choose_algorithm_name
+
+        if algorithm.strip().lower() == "auto":
+            algorithm = choose_algorithm_name(s)
+        if args.strategy == "disk":
+            from repro.external.disk_join import disk_partitioned_join
+
+            per_part = max(1, len(s) // max(args.partitions, 1))
+            result = disk_partitioned_join(r, s, algorithm=algorithm,
+                                           max_tuples=per_part, **kwargs)
+        elif args.strategy == "psj":
+            from repro.external.psj import psj_join
+
+            result = psj_join(r, s, partitions=args.partitions,
+                              algorithm=algorithm, **kwargs)
+        else:
+            from repro.future.parallel import parallel_join
+
+            result = parallel_join(r, s, algorithm=algorithm,
+                                   workers=args.partitions, **kwargs)
+    elapsed = time.perf_counter() - start
+    st = result.stats
+    print(f"{st.algorithm}: {len(result)} pairs in {reporting.fmt_seconds(elapsed)} "
+          f"(build {reporting.fmt_seconds(st.build_seconds)}, "
+          f"probe {reporting.fmt_seconds(st.probe_seconds)}, "
+          f"verifications {st.verifications}, node visits {st.node_visits})")
+    if args.output:
+        write_join_result(result.pairs, args.output)
+        print(f"pairs written to {args.output}")
+    return 0
+
+
+def _bench_fig5(axis: str, base: int | None, repeats: int) -> None:
+    grid = {
+        "fig5a": experiments.fig5a_grid,
+        "fig5b": experiments.fig5b_grid,
+        "fig5c": experiments.fig5c_grid,
+    }[axis](base or experiments.FIG5_SIZE)
+    ratios = experiments.SIGNATURE_RATIOS
+    series: dict[str, list[float | None]] = {}
+    for label, config in grid:
+        r, s = harness.dataset_pair(config)
+        timings: list[float | None] = []
+        for ratio in ratios:
+            bits = min(max(ratio * config.avg_cardinality, 8), config.domain)
+            record = harness.run_algorithm("ptsj", r, s, repeats=repeats, bits=bits)
+            timings.append(record.seconds)
+        series[label] = timings
+    print(reporting.format_series(f"PTSJ time vs b/c ratio ({axis})", "b/c",
+                                  list(ratios), series))
+
+
+def _bench_fig6(which: str, base: int | None, repeats: int) -> None:
+    base = base or experiments.BASE_SIZE
+    if which == "fig6a":
+        configs = experiments.fig6c_configs(base)
+        series: dict[str, list[float | None]] = {name: [] for name in experiments.ALL_ALGORITHMS}
+        for config in configs:
+            r, s = harness.dataset_pair(config)
+            for name in experiments.ALL_ALGORITHMS:
+                series[name].append(memory.memory_per_tuple(name, r, s))
+        print(reporting.format_series("Memory per tuple vs set cardinality", "c",
+                                      [c.name for c in configs], series,
+                                      value_format=reporting.fmt_bytes))
+        return
+    configs = {
+        "fig6b": lambda: experiments.fig6b_configs(base),
+        "fig6c": lambda: experiments.fig6c_configs(base),
+        "fig6d": lambda: experiments.fig6def_configs(2 ** 4, base),
+        "fig6e": lambda: experiments.fig6def_configs(2 ** 6, base),
+        "fig6f": lambda: experiments.fig6def_configs(2 ** 8, base),
+    }[which]()
+    series = harness.sweep(configs, experiments.ALL_ALGORITHMS, repeats=repeats,
+                           skip=experiments.shj_infeasible)
+    print(reporting.format_series(which, "config", [c.name for c in configs], series))
+
+
+def _bench_fig8(base: int | None, repeats: int) -> None:
+    datasets = experiments.fig8_datasets(base or 256)
+    labels = [name for name, _, _ in datasets]
+    series: dict[str, list[float | None]] = {name: [] for name in experiments.ALL_ALGORITHMS}
+    for _, r, s in datasets:
+        for name in experiments.ALL_ALGORITHMS:
+            record = harness.run_algorithm(name, r, s, repeats=repeats)
+            series[name].append(record.seconds)
+    print(reporting.format_ratios("Real-world surrogates (time / best)", labels, series))
+
+
+def _bench_fig7(which: str, base: int | None, repeats: int) -> None:
+    axis = "cardinality" if which in ("fig7a", "fig7c") else "element"
+    distribution = "poisson" if which in ("fig7a", "fig7b") else "zipf"
+    configs = experiments.fig7_configs(axis, distribution,
+                                       base or experiments.BASE_SIZE)
+    series = harness.sweep(configs, experiments.ALL_ALGORITHMS, repeats=repeats,
+                           skip=experiments.shj_infeasible)
+    print(reporting.format_series(f"{which}: {distribution} on set {axis}",
+                                  "config", [c.name for c in configs], series))
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiment.startswith("fig5"):
+        _bench_fig5(args.experiment, args.base, args.repeats)
+    elif args.experiment.startswith("fig7"):
+        _bench_fig7(args.experiment, args.base, args.repeats)
+    elif args.experiment == "fig8":
+        _bench_fig8(args.base, args.repeats)
+    else:
+        _bench_fig6(args.experiment, args.base, args.repeats)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "join": _cmd_join,
+        "bench": _cmd_bench,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

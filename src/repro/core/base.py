@@ -1,0 +1,179 @@
+"""Join algorithm base classes, result and statistics types.
+
+Every join algorithm in this package — the paper's contributions (PTSJ,
+PRETTI+) and the baselines (SHJ, PRETTI, TSJ, nested loop) — implements the
+same two-phase contract: *build* an index on the indexed relation ``S``,
+then *probe* it once per tuple of ``R``, emitting the pairs of
+
+    R ⋈⊇ S = {(r, s) | r ∈ R, s ∈ S, r.set ⊇ s.set}
+
+:class:`SetContainmentJoin` is the template: it times the two phases and
+assembles a :class:`JoinResult` whose :class:`JoinStats` carries the
+counters the paper's evaluation discusses (candidate verifications, trie
+node visits, index-build share of runtime — Sec. V-A3).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.relations.relation import Relation
+
+__all__ = ["CandidateGroup", "JoinStats", "JoinResult", "SetContainmentJoin"]
+
+
+class CandidateGroup:
+    """A group of indexed tuples sharing one set value.
+
+    The merge-identical-sets extension (paper Sec. III-E1) stores, per
+    distinct set value, the list of tuple ids carrying it; one set
+    comparison then settles every id at once.  Algorithms that do not merge
+    simply use singleton groups.
+
+    Attributes:
+        elements: The shared set value.
+        ids: Tuple ids carrying that set value.
+    """
+
+    __slots__ = ("elements", "ids")
+
+    def __init__(self, elements: frozenset[int], first_id: int) -> None:
+        self.elements = elements
+        self.ids = [first_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CandidateGroup |set|={len(self.elements)} ids={self.ids}>"
+
+
+@dataclass(slots=True)
+class JoinStats:
+    """Operation counters and timings for one join execution.
+
+    Attributes:
+        algorithm: Registry name of the algorithm that produced the result.
+        build_seconds: Index-construction wall time.
+        probe_seconds: Probe/traversal wall time (includes verification).
+        pairs: Number of output pairs.
+        candidates: Candidate *groups* that reached exact set verification
+            (signature algorithms) — the paper's ``N * |R|``.  IR-based
+            algorithms have no verification step, so this stays 0.
+        verifications: Exact set-containment checks executed.  Equals
+            ``candidates`` for signature algorithms; 0 for PRETTI/PRETTI+.
+        node_visits: Trie nodes dequeued across all probes (the paper's
+            ``V * |R|``), or nodes traversed for IR-based algorithms.
+        intersections: Inverted-list intersections (PRETTI/PRETTI+ only).
+        index_nodes: Node count of the built index structure.
+        signature_bits: Signature length used (0 for IR-based algorithms).
+        extras: Algorithm-specific counters (e.g. SHJ submask enumerations).
+    """
+
+    algorithm: str = ""
+    build_seconds: float = 0.0
+    probe_seconds: float = 0.0
+    pairs: int = 0
+    candidates: int = 0
+    verifications: int = 0
+    node_visits: int = 0
+    intersections: int = 0
+    index_nodes: int = 0
+    signature_bits: int = 0
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end join time (build + probe), the paper's reported metric."""
+        return self.build_seconds + self.probe_seconds
+
+    @property
+    def build_fraction(self) -> float:
+        """Index-build share of the total runtime (paper Sec. V-A3)."""
+        total = self.total_seconds
+        return self.build_seconds / total if total > 0 else 0.0
+
+    @property
+    def precision(self) -> float:
+        """Fraction of verified candidates that produced output groups.
+
+        1.0 means the filter admitted no false positives (always the case
+        for IR-based algorithms, which are verification-free).
+        """
+        if self.verifications == 0:
+            return 1.0
+        return min(1.0, self.pairs / self.verifications)
+
+
+class JoinResult:
+    """The output pairs of one join plus its :class:`JoinStats`.
+
+    Pairs are ``(r_id, s_id)`` with ``r.set ⊇ s.set``.  Order is
+    algorithm-dependent; use :meth:`sorted_pairs` or :meth:`pair_set` to
+    compare results across algorithms.
+    """
+
+    __slots__ = ("pairs", "stats")
+
+    def __init__(self, pairs: list[tuple[int, int]], stats: JoinStats) -> None:
+        self.pairs = pairs
+        self.stats = stats
+        stats.pairs = len(pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def pair_set(self) -> frozenset[tuple[int, int]]:
+        """The pairs as a set (for cross-algorithm equality checks)."""
+        return frozenset(self.pairs)
+
+    def sorted_pairs(self) -> list[tuple[int, int]]:
+        """The pairs in ascending ``(r_id, s_id)`` order."""
+        return sorted(self.pairs)
+
+    def __repr__(self) -> str:
+        return f"<JoinResult {self.stats.algorithm} pairs={len(self.pairs)}>"
+
+
+class SetContainmentJoin(ABC):
+    """Template for set-containment join algorithms.
+
+    Subclasses implement :meth:`_build` (index the relation ``S``) and
+    :meth:`_probe` (stream the relation ``R`` against the index, returning
+    output pairs); :meth:`join` wires them together with wall-clock timing.
+
+    A single instance may be reused across joins; each :meth:`join` call
+    resets per-run state via :meth:`_build`.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    def join(self, r: Relation, s: Relation) -> JoinResult:
+        """Compute ``R ⋈⊇ S`` and return pairs plus statistics."""
+        stats = JoinStats(algorithm=self.name)
+        start = time.perf_counter()
+        self._build(r, s, stats)
+        stats.build_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        pairs = self._probe(r, stats)
+        stats.probe_seconds = time.perf_counter() - start
+        return JoinResult(pairs, stats)
+
+    @abstractmethod
+    def _build(self, r: Relation, s: Relation, stats: JoinStats) -> None:
+        """Build the index over ``s``.
+
+        ``r`` is available for parameter selection only (e.g. deriving the
+        signature length from global dataset statistics, Sec. III-D); the
+        index must not depend on R's content.
+        """
+
+    @abstractmethod
+    def _probe(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
+        """Probe the index with every tuple of ``r``; return output pairs."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} ({self.name})>"

@@ -1,0 +1,125 @@
+"""The generic signature-join framework (paper Algorithm 1).
+
+The paper factors SHJ into a reusable skeleton — hash every S-tuple into an
+index, then for each R-tuple enumerate index entries whose signature is
+contained in the probe signature and verify the surviving candidates with
+an exact set comparison — and instantiates it with three different
+enumeration structures (hash map for SHJ, plain trie for TSJ/Algorithm 4,
+Patricia trie for PTSJ/Algorithm 5).
+
+:class:`SignatureJoinBase` is that skeleton.  Subclasses provide the index
+(:meth:`_build_index`) and the subset enumeration
+(:meth:`_enumerate_groups`); the shared :meth:`_probe` implements lines
+4–8 of Algorithm 1, including the merge-identical-sets output expansion
+(Sec. III-E1).
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Iterable
+
+from repro.core.base import CandidateGroup, JoinStats, SetContainmentJoin
+from repro.relations.relation import Relation, SetRecord
+from repro.signatures.hashing import ModuloScheme, SignatureScheme
+from repro.signatures.length import SignatureLengthStrategy
+
+__all__ = ["SignatureJoinBase", "insert_into_groups"]
+
+
+def insert_into_groups(groups: list[CandidateGroup], record: SetRecord) -> None:
+    """Add ``record`` to a leaf's group list, merging identical sets.
+
+    Signature-sharing tuples are rare per leaf, and identical *sets* even
+    rarer, so the linear scan is cheap; it implements the Sec. III-E1
+    merge-identical-sets extension ("maintaining a mapping list of tuples
+    that have the same set elements").
+    """
+    for group in groups:
+        if group.elements == record.elements:
+            group.ids.append(record.rid)
+            return
+    groups.append(CandidateGroup(record.elements, record.rid))
+
+
+class SignatureJoinBase(SetContainmentJoin):
+    """Algorithm 1 with pluggable index and subset enumeration.
+
+    Args:
+        bits: Signature length; ``None`` selects it per dataset via
+            ``length_strategy`` (Sec. III-D) from the *combined* statistics
+            of R and S at :meth:`join` time.
+        scheme_factory: Signature hash scheme constructor, default the
+            paper's ``x mod b`` scheme.
+        length_strategy: Used only when ``bits`` is ``None``.
+    """
+
+    def __init__(
+        self,
+        bits: int | None = None,
+        scheme_factory: type[SignatureScheme] = ModuloScheme,
+        length_strategy: SignatureLengthStrategy | None = None,
+    ) -> None:
+        self.requested_bits = bits
+        self.scheme_factory = scheme_factory
+        self.length_strategy = length_strategy or SignatureLengthStrategy()
+        self.scheme: SignatureScheme | None = None
+
+    # ------------------------------------------------------------------
+    # Parameter selection
+    # ------------------------------------------------------------------
+    def _choose_bits(self, r: Relation, s: Relation) -> int:
+        """Resolve the signature length for this join.
+
+        Explicit ``bits`` wins; otherwise apply the Sec. III-D strategy to
+        the average cardinality and active-domain size of both relations.
+        """
+        if self.requested_bits is not None:
+            return self.requested_bits
+        cards = [rec.cardinality for rec in r] + [rec.cardinality for rec in s]
+        total = sum(cards)
+        avg_c = max(total / len(cards), 1.0) if cards else 1.0
+        domain = max(r.max_element(), s.max_element()) + 1
+        return self.length_strategy.choose(avg_c, max(domain, 1))
+
+    # ------------------------------------------------------------------
+    # Template hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _build_index(self, s: Relation, stats: JoinStats) -> None:
+        """Index every tuple of ``s`` under its signature (Alg. 1 lines 1–3)."""
+
+    @abstractmethod
+    def _enumerate_groups(self, signature: int, stats: JoinStats) -> Iterable[list[CandidateGroup]]:
+        """Yield the group lists of index entries with ``entry.sig ⊑ signature``.
+
+        This is the pluggable "subset enumeration algorithm" of Algorithm 1
+        line 5 — SHJENUM, TRIEENUM or PATRICIAENUM.
+        """
+
+    # ------------------------------------------------------------------
+    # Template body
+    # ------------------------------------------------------------------
+    def _build(self, r: Relation, s: Relation, stats: JoinStats) -> None:
+        bits = self._choose_bits(r, s)
+        stats.signature_bits = bits
+        self.scheme = self.scheme_factory(bits)
+        self._build_index(s, stats)
+
+    def _probe(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
+        """Algorithm 1 lines 4–8 over every probe tuple."""
+        assert self.scheme is not None, "join() must build before probing"
+        pairs: list[tuple[int, int]] = []
+        signature = self.scheme.signature
+        for rec in r:
+            r_sig = signature(rec.elements)
+            r_set = rec.elements
+            r_id = rec.rid
+            for groups in self._enumerate_groups(r_sig, stats):
+                for group in groups:
+                    stats.candidates += 1
+                    stats.verifications += 1
+                    if group.elements <= r_set:
+                        for s_id in group.ids:
+                            pairs.append((r_id, s_id))
+        return pairs

@@ -1,0 +1,100 @@
+"""PRETTI+ — PRETTI over an element-space Patricia trie (paper Sec. IV).
+
+The paper's second contribution.  PRETTI+ keeps PRETTI's architecture —
+trie on ``S``, inverted index on ``R``, one traversal with a running
+candidate list — but stores the trie as a Patricia trie
+(:class:`~repro.tries.set_patricia.SetPatriciaTrie`, built with the paper's
+Algorithm 8), whose nodes hold *runs* of elements.  Two effects:
+
+* **memory**: single-child chains collapse, so memory stops exploding with
+  set cardinality (paper Fig. 6a shows ~10x less than PRETTI);
+* **traversal**: one node processes several elements ("lists of tuples from
+  the inverted index have to be joined several times in each node"), so far
+  fewer nodes are visited.
+
+Like PRETTI, the join is verification-free: the candidate list is exact.
+The paper's verdict (Sec. IV): "PRETTI+ is always a better choice than
+PRETTI", and it is the overall winner for low-cardinality datasets
+(Figs. 6c–6d, 7c, 8).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import JoinStats, SetContainmentJoin
+from repro.index.inverted import InvertedIndex
+from repro.relations.relation import Relation
+from repro.tries.set_patricia import SetPatriciaTrie
+
+__all__ = ["PRETTIPlus"]
+
+
+class PRETTIPlus(SetContainmentJoin):
+    """Patricia-trie PRETTI (the paper's PRETTI+).
+
+    Example:
+        >>> from repro.relations import Relation
+        >>> profiles = Relation.from_sets([{1, 3, 5, 6}, {0, 2, 7}, {0, 2, 3}])
+        >>> prefs = Relation.from_sets([{1, 3}, {1, 5, 6}, {0, 2, 7}])
+        >>> sorted(PRETTIPlus().join(profiles, prefs).pairs)
+        [(0, 0), (0, 1), (1, 2)]
+    """
+
+    name = "pretti+"
+
+    def __init__(self) -> None:
+        self.trie: SetPatriciaTrie | None = None
+        self.index: InvertedIndex | None = None
+
+    def _build(self, r: Relation, s: Relation, stats: JoinStats) -> None:
+        trie = SetPatriciaTrie()
+        for rec in s:
+            trie.insert(rec.sorted_elements(), rec.rid)
+        self.trie = trie
+        self.index = InvertedIndex(r)
+        stats.index_nodes = trie.node_count()
+
+    def _probe(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
+        """PRETTI's traversal adapted to multi-element nodes.
+
+        Entering a child costs one inverted-list intersection per element of
+        the child's prefix run; the refinement short-circuits (and the
+        subtree is pruned without being visited) as soon as the candidate
+        list empties, because descendants only ever shrink it further.
+        """
+        trie, index = self.trie, self.index
+        assert trie is not None and index is not None
+        pairs: list[tuple[int, int]] = []
+        intersections_before = index.intersection_count
+        visits = 0
+        # Stack entries carry the candidate list *after* the node's prefix
+        # has been applied; the root's prefix is empty so it starts with all
+        # R-ids (every R-tuple contains the empty prefix).
+        stack: list[tuple] = [(trie.root, index.all_ids)] if index.all_ids else []
+        while stack:
+            node, current = stack.pop()
+            visits += 1
+            if node.tuples:
+                for s_id in node.tuples:
+                    for r_id in current:
+                        pairs.append((r_id, s_id))
+            for child in node.children.values():
+                child_list = current
+                for element in child.prefix:
+                    child_list = index.refine(child_list, element)
+                    if not child_list:
+                        break
+                if child_list:
+                    stack.append((child, child_list))
+        stats.node_visits += visits
+        stats.intersections += index.intersection_count - intersections_before
+        return pairs
+
+    def built_trie(self) -> SetPatriciaTrie:
+        """The Patricia trie built by the last :meth:`join`.
+
+        Raises:
+            RuntimeError: If no join has been executed yet.
+        """
+        if self.trie is None:
+            raise RuntimeError("no index built yet; run join() first")
+        return self.trie

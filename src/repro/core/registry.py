@@ -1,0 +1,123 @@
+"""Algorithm registry and the top-level join entry point.
+
+``set_containment_join(r, s, algorithm="auto")`` is the public one-call
+API.  ``"auto"`` applies the paper's guidance (Sec. V-C3/V-C5): PRETTI+
+for low set-cardinality data, PTSJ otherwise, decided on the *median*
+cardinality because skewed cardinality distributions make the average
+misleading (Sec. V-C5).
+
+Algorithm classes are resolved lazily (by module path) so that baseline
+modules — which depend on :mod:`repro.core.base` — can be imported in any
+order without cycles.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Callable
+
+from repro.core.base import JoinResult, SetContainmentJoin
+from repro.errors import AlgorithmError
+from repro.relations.relation import Relation
+from repro.relations.stats import compute_stats
+
+__all__ = [
+    "ALGORITHMS",
+    "make_algorithm",
+    "available_algorithms",
+    "set_containment_join",
+    "choose_algorithm_name",
+]
+
+#: Registry of algorithms: public name -> ``(module path, class name)``.
+#: The last two are the paper's Sec. VI future-work directions.
+ALGORITHMS: dict[str, tuple[str, str]] = {
+    "ptsj": ("repro.core.ptsj", "PTSJ"),
+    "pretti+": ("repro.core.pretti_plus", "PRETTIPlus"),
+    "shj": ("repro.baselines.shj", "SHJ"),
+    "pretti": ("repro.baselines.pretti", "PRETTI"),
+    "tsj": ("repro.baselines.tsj", "TSJ"),
+    "nested-loop": ("repro.baselines.nested_loop", "NestedLoopJoin"),
+    "mwtsj": ("repro.future.multiway", "MWTSJ"),
+    "trie-trie": ("repro.future.trie_trie", "TrieTrieJoin"),
+}
+
+#: Aliases accepted by :func:`make_algorithm`.
+_ALIASES: dict[str, str] = {
+    "prettiplus": "pretti+",
+    "pretti_plus": "pretti+",
+    "nl": "nested-loop",
+    "nested_loop": "nested-loop",
+}
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Names accepted by :func:`set_containment_join` (aliases excluded)."""
+    return tuple(ALGORITHMS)
+
+
+def algorithm_class(name: str) -> Callable[..., SetContainmentJoin]:
+    """Resolve a registry name or alias to its algorithm class.
+
+    Raises:
+        AlgorithmError: For an unknown name.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    entry = ALGORITHMS.get(key)
+    if entry is None:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; available: {', '.join(ALGORITHMS)}"
+        )
+    module_path, class_name = entry
+    return getattr(import_module(module_path), class_name)
+
+
+def make_algorithm(name: str, **kwargs) -> SetContainmentJoin:
+    """Construct an algorithm by (case-insensitive) name or alias.
+
+    Raises:
+        AlgorithmError: For an unknown name.
+    """
+    return algorithm_class(name)(**kwargs)
+
+
+def choose_algorithm_name(s: Relation) -> str:
+    """The paper's regime rule, on the indexed relation's statistics."""
+    return compute_stats(s).recommended_algorithm()
+
+
+def set_containment_join(
+    r: Relation,
+    s: Relation,
+    algorithm: str = "auto",
+    **kwargs,
+) -> JoinResult:
+    """Compute ``R ⋈⊇ S``: all pairs with ``r.set ⊇ s.set``.
+
+    Args:
+        r: The probe relation (containing side).
+        s: The indexed relation (contained side).
+        algorithm: ``"auto"`` (paper's regime rule), or one of
+            :func:`available_algorithms` / their aliases.
+        **kwargs: Forwarded to the algorithm constructor (e.g. ``bits=512``
+            for PTSJ).
+
+    Returns:
+        A :class:`~repro.core.base.JoinResult` of ``(r_id, s_id)`` pairs
+        plus execution statistics.
+
+    Raises:
+        AlgorithmError: For an unknown algorithm name.
+
+    Example:
+        >>> from repro.relations import Relation
+        >>> r = Relation.from_sets([{1, 2, 3}, {2, 4}])
+        >>> s = Relation.from_sets([{2}, {1, 3}, {4, 5}])
+        >>> sorted(set_containment_join(r, s, algorithm="ptsj").pairs)
+        [(0, 0), (0, 1), (1, 0)]
+    """
+    name = algorithm.strip().lower()
+    if name == "auto":
+        name = choose_algorithm_name(s)
+    return make_algorithm(name, **kwargs).join(r, s)

@@ -1,0 +1,104 @@
+"""Join-result validation utilities.
+
+Downstream users (and this repository's own tests and examples) need an
+independent way to check a join output: :func:`verify_join_result` replays
+the containment predicate over the claimed pairs (soundness) and over a
+sample — or all — of the cross product (completeness), without trusting
+any index structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.relations.relation import Relation
+
+__all__ = ["ValidationReport", "verify_join_result"]
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationReport:
+    """Outcome of :func:`verify_join_result`.
+
+    Attributes:
+        ok: True iff no violation was found.
+        checked_pairs: Claimed pairs whose predicate was replayed.
+        checked_candidates: Cross-product samples tested for completeness.
+        false_positives: Claimed pairs whose sets do NOT satisfy ``⊇``.
+        missing_pairs: Satisfying pairs absent from the claimed output.
+    """
+
+    ok: bool
+    checked_pairs: int
+    checked_candidates: int
+    false_positives: tuple[tuple[int, int], ...]
+    missing_pairs: tuple[tuple[int, int], ...]
+
+    def raise_on_failure(self) -> None:
+        """Raise ``AssertionError`` with details if validation failed."""
+        if not self.ok:
+            raise AssertionError(
+                f"join validation failed: {len(self.false_positives)} false "
+                f"positives (e.g. {self.false_positives[:3]}), "
+                f"{len(self.missing_pairs)} missing pairs "
+                f"(e.g. {self.missing_pairs[:3]})"
+            )
+
+
+def verify_join_result(
+    r: Relation,
+    s: Relation,
+    pairs: Iterable[tuple[int, int]],
+    sample: int | None = 10_000,
+    seed: int = 0,
+) -> ValidationReport:
+    """Independently validate a claimed ``R ⋈⊇ S`` output.
+
+    Soundness is always checked exhaustively over the claimed pairs.
+    Completeness checks the full ``|R| x |S|`` cross product when it has at
+    most ``sample`` cells (or when ``sample`` is ``None``); otherwise a
+    uniform random sample of that many cells.
+
+    Args:
+        r: Probe relation.
+        s: Indexed relation.
+        pairs: The claimed output pairs ``(r_id, s_id)``.
+        sample: Completeness budget in cross-product cells.
+        seed: Sampling seed.
+    """
+    claimed = set(pairs)
+    false_positives = [
+        (r_id, s_id)
+        for r_id, s_id in claimed
+        if not r.get(r_id).elements >= s.get(s_id).elements
+    ]
+
+    missing: list[tuple[int, int]] = []
+    total_cells = len(r) * len(s)
+    checked_candidates = 0
+    if sample is None or total_cells <= sample:
+        for r_rec in r:
+            for s_rec in s:
+                checked_candidates += 1
+                if r_rec.elements >= s_rec.elements and (r_rec.rid, s_rec.rid) not in claimed:
+                    missing.append((r_rec.rid, s_rec.rid))
+    elif total_cells:
+        rng = random.Random(seed)
+        r_records = list(r)
+        s_records = list(s)
+        for _ in range(sample):
+            r_rec = r_records[rng.randrange(len(r_records))]
+            s_rec = s_records[rng.randrange(len(s_records))]
+            checked_candidates += 1
+            if r_rec.elements >= s_rec.elements and (r_rec.rid, s_rec.rid) not in claimed:
+                missing.append((r_rec.rid, s_rec.rid))
+
+    return ValidationReport(
+        ok=not false_positives and not missing,
+        checked_pairs=len(claimed),
+        checked_candidates=checked_candidates,
+        false_positives=tuple(false_positives),
+        missing_pairs=tuple(missing),
+    )

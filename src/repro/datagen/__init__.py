@@ -1,0 +1,53 @@
+"""Dataset generation: synthetic workloads and real-world surrogates.
+
+* :mod:`repro.datagen.distributions` — uniform / Poisson / bounded-Zipf
+  samplers (paper Sec. V-A1).
+* :mod:`repro.datagen.synthetic` — Table IV-style configurable relations.
+* :mod:`repro.datagen.realworld` — Table III dataset surrogates.
+* :mod:`repro.datagen.bisimulation` — graph k-bisimulation encoder (the
+  substrate behind the paper's *twitter* dataset).
+"""
+
+from repro.datagen.bisimulation import (
+    kbisim_blocks,
+    kbisim_relation,
+    random_power_law_digraph,
+)
+from repro.datagen.distributions import (
+    PoissonDist,
+    UniformDist,
+    ZipfDist,
+    make_distribution,
+)
+from repro.datagen.realworld import (
+    SURROGATE_SPECS,
+    SurrogateSpec,
+    flickr_surrogate,
+    make_surrogate,
+    orkut_surrogate,
+    scaled_sizes,
+    twitter_surrogate,
+    webbase_surrogate,
+)
+from repro.datagen.synthetic import SyntheticConfig, generate_pair, generate_relation
+
+__all__ = [
+    "UniformDist",
+    "PoissonDist",
+    "ZipfDist",
+    "make_distribution",
+    "SyntheticConfig",
+    "generate_relation",
+    "generate_pair",
+    "SurrogateSpec",
+    "SURROGATE_SPECS",
+    "make_surrogate",
+    "scaled_sizes",
+    "flickr_surrogate",
+    "orkut_surrogate",
+    "twitter_surrogate",
+    "webbase_surrogate",
+    "kbisim_blocks",
+    "kbisim_relation",
+    "random_power_law_digraph",
+]

@@ -1,0 +1,174 @@
+"""Samplers for the paper's data distributions (Sec. V-A1).
+
+The paper's generator varies both the *set cardinality* distribution and
+the *set element* distribution over {uniform, Poisson, Zipf} ("distributions
+commonly found in real-world scenarios", built there on Apache Commons
+Math).  This module provides the equivalent samplers on top of numpy's
+``Generator``:
+
+* :class:`UniformDist` — uniform integers on ``[low, high]``;
+* :class:`PoissonDist` — Poisson with mean ``lam``, truncated to a range;
+* :class:`ZipfDist` — *bounded* Zipf over ``{1..n}`` with exponent ``s``
+  (numpy's ``zipf`` is unbounded; set elements need a bounded domain, so we
+  sample from the normalised finite distribution via inverse-CDF lookup).
+
+All samplers draw vectors (numpy arrays) for speed and are deterministic
+given the ``Generator`` passed in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataGenError
+
+__all__ = ["UniformDist", "PoissonDist", "ZipfDist", "make_distribution"]
+
+
+class UniformDist:
+    """Uniform integers on the inclusive range ``[low, high]``.
+
+    Raises:
+        DataGenError: If ``low > high`` or ``low`` is negative.
+    """
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: int, high: int) -> None:
+        if low < 0 or low > high:
+            raise DataGenError(f"invalid uniform range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` values."""
+        return rng.integers(self.low, self.high + 1, size=count)
+
+    @property
+    def mean(self) -> float:
+        """Expected value of one draw."""
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformDist({self.low}, {self.high})"
+
+
+class PoissonDist:
+    """Poisson with mean ``lam``, clipped to ``[low, high]``.
+
+    Clipping keeps draws valid as cardinalities (>= 1) or element ids
+    (< domain).  The clipped mean drifts slightly from ``lam``; for the
+    paper's configurations (``lam`` well inside the range) the drift is
+    negligible.
+
+    Raises:
+        DataGenError: If ``lam`` is not positive or the range is invalid.
+    """
+
+    __slots__ = ("lam", "low", "high")
+
+    def __init__(self, lam: float, low: int = 0, high: int | None = None) -> None:
+        if lam <= 0:
+            raise DataGenError(f"poisson mean must be positive, got {lam}")
+        if high is not None and low > high:
+            raise DataGenError(f"invalid poisson clip range [{low}, {high}]")
+        self.lam = lam
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` values."""
+        values = rng.poisson(self.lam, size=count)
+        hi = self.high if self.high is not None else None
+        return np.clip(values, self.low, hi)
+
+    @property
+    def mean(self) -> float:
+        """Nominal (unclipped) mean."""
+        return self.lam
+
+    def __repr__(self) -> str:
+        return f"PoissonDist(lam={self.lam}, low={self.low}, high={self.high})"
+
+
+class ZipfDist:
+    """Bounded Zipf over ranks ``1..n`` mapped to values ``offset..offset+n-1``.
+
+    ``P(rank = i) ∝ 1 / i**s``.  Sampling is inverse-CDF on the precomputed
+    cumulative weights (``searchsorted``), so each draw is O(log n) and the
+    distribution is exactly the normalised finite Zipf, unlike numpy's
+    unbounded ``Generator.zipf``.
+
+    Args:
+        n: Number of ranks (support size).
+        s: Skew exponent; the paper's Zipf workloads use moderate skew
+            (default 1.0).
+        offset: Value of rank 1 (element ids usually start at 0).
+
+    Raises:
+        DataGenError: If ``n`` is not positive or ``s`` is negative.
+    """
+
+    __slots__ = ("n", "s", "offset", "_cdf")
+
+    def __init__(self, n: int, s: float = 1.0, offset: int = 0) -> None:
+        if n <= 0:
+            raise DataGenError(f"zipf support size must be positive, got {n}")
+        if s < 0:
+            raise DataGenError(f"zipf exponent must be non-negative, got {s}")
+        self.n = n
+        self.s = s
+        self.offset = offset
+        weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** s
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        self._cdf = cdf
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` values; rank 1 (most frequent) maps to ``offset``."""
+        u = rng.random(count)
+        ranks = np.searchsorted(self._cdf, u, side="left")
+        return ranks + self.offset
+
+    @property
+    def mean(self) -> float:
+        """Expected value of one draw."""
+        ranks = np.arange(1, self.n + 1, dtype=np.float64)
+        weights = 1.0 / ranks ** self.s
+        return float((ranks - 1 + self.offset) @ weights / weights.sum())
+
+    def __repr__(self) -> str:
+        return f"ZipfDist(n={self.n}, s={self.s}, offset={self.offset})"
+
+
+def make_distribution(
+    kind: str,
+    *,
+    mean: float,
+    low: int,
+    high: int,
+    zipf_skew: float = 1.0,
+):
+    """Build a sampler by name for a target mean on ``[low, high]``.
+
+    ``kind`` is one of ``uniform``, ``poisson``, ``zipf``:
+
+    * ``uniform`` spans ``[low, min(high, 2*mean - low)]`` so the mean is
+      approximately ``mean`` (the paper's base setting draws cardinalities
+      uniformly around the configured average);
+    * ``poisson`` uses ``lam = mean`` clipped to the range;
+    * ``zipf`` puts rank 1 at ``low`` spanning the full range (the paper's
+      Fig. 7c axis is therefore the *maximum* cardinality).
+
+    Raises:
+        DataGenError: For an unknown ``kind`` or inconsistent parameters.
+    """
+    key = kind.strip().lower()
+    if key == "uniform":
+        upper = min(high, max(low, int(round(2 * mean)) - low))
+        return UniformDist(low, max(low, upper))
+    if key == "poisson":
+        return PoissonDist(mean, low=low, high=high)
+    if key == "zipf":
+        return ZipfDist(high - low + 1, s=zipf_skew, offset=low)
+    raise DataGenError(f"unknown distribution kind {kind!r}")

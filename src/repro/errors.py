@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Each subclass marks
+one failure domain (invalid relation data, bad signature configuration,
+malformed trie operations, data-generation misconfiguration, external-memory
+failures) so error handling can stay precise without string matching.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class RelationError(ReproError):
+    """Invalid relation content (e.g. negative element ids, bad record ids)."""
+
+
+class SignatureError(ReproError):
+    """Invalid signature configuration or operand (e.g. non-positive length)."""
+
+
+class TrieError(ReproError):
+    """Invalid trie operation (e.g. inserting a signature of the wrong width)."""
+
+
+class DataGenError(ReproError):
+    """Invalid synthetic data-generation configuration."""
+
+
+class ExternalMemoryError(ReproError):
+    """Failure in the disk-based partitioned join (I/O, partition sizing)."""
+
+
+class AlgorithmError(ReproError):
+    """Unknown algorithm name or invalid algorithm configuration."""

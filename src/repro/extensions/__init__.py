@@ -1,0 +1,25 @@
+"""PTSJ extensions (paper Sec. III-E): one Patricia index, many joins."""
+
+from repro.extensions.equality import equality_join, equality_join_on_index
+from repro.extensions.set_index import PatriciaSetIndex
+from repro.extensions.set_trie_index import SetTrieIndex
+from repro.extensions.similarity import (
+    jaccard_join,
+    jaccard_join_on_index,
+    similarity_join,
+    similarity_join_on_index,
+)
+from repro.extensions.superset import superset_join, superset_join_on_index
+
+__all__ = [
+    "PatriciaSetIndex",
+    "SetTrieIndex",
+    "superset_join",
+    "superset_join_on_index",
+    "equality_join",
+    "equality_join_on_index",
+    "similarity_join",
+    "similarity_join_on_index",
+    "jaccard_join",
+    "jaccard_join_on_index",
+]

@@ -1,0 +1,164 @@
+"""A reusable Patricia signature index answering multiple query types.
+
+Sec. III-E of the paper emphasises that PTSJ's Patricia trie is a
+*general-purpose* index: the same structure built once over a relation can
+answer subset (containment join), superset, set-equality and Hamming
+set-similarity queries — "systems such as OLAP can benefit greatly by
+reusing one index for different purposes".
+
+:class:`PatriciaSetIndex` packages that: it owns the signature scheme, the
+trie, and the merged candidate groups, and exposes one probe method per
+query type.  The join wrappers in :mod:`repro.extensions` are thin loops
+over these probes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.base import CandidateGroup
+from repro.core.framework import insert_into_groups
+from repro.errors import AlgorithmError
+from repro.relations.relation import Relation
+from repro.signatures.hashing import ModuloScheme, SignatureScheme
+from repro.signatures.length import SignatureLengthStrategy
+from repro.tries.patricia import PatriciaTrie
+
+__all__ = ["PatriciaSetIndex"]
+
+
+class PatriciaSetIndex:
+    """Patricia-trie signature index over one set-valued relation.
+
+    Args:
+        relation: The relation to index.
+        bits: Signature length; ``None`` applies the Sec. III-D strategy to
+            the relation's own statistics.
+        scheme_factory: Signature hash scheme (default ``x mod b``).
+        length_strategy: Alternative Sec. III-D parameterisation.
+
+    Raises:
+        AlgorithmError: If the relation is empty and no explicit ``bits``
+            is given (no statistics to derive a length from).
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        bits: int | None = None,
+        scheme_factory: type[SignatureScheme] = ModuloScheme,
+        length_strategy: SignatureLengthStrategy | None = None,
+    ) -> None:
+        if bits is None:
+            if len(relation) == 0:
+                raise AlgorithmError("cannot derive a signature length from an empty relation")
+            cards = [rec.cardinality for rec in relation]
+            avg_c = max(sum(cards) / len(cards), 1.0)
+            domain = max(relation.max_element() + 1, 1)
+            strategy = length_strategy or SignatureLengthStrategy()
+            bits = strategy.choose(avg_c, domain)
+        self.scheme = scheme_factory(bits)
+        self.trie = PatriciaTrie(bits)
+        self.relation = relation
+        self._size = len(relation)
+        signature = self.scheme.signature
+        for rec in relation:
+            insert_into_groups(self.trie.insert(signature(rec.elements)), rec)
+
+    @property
+    def bits(self) -> int:
+        """The signature length in use."""
+        return self.scheme.bits
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance
+    # ------------------------------------------------------------------
+    def add(self, rid: int, elements: frozenset[int]) -> None:
+        """Index one more tuple (merging into an existing identical set)."""
+        from repro.relations.relation import SetRecord
+
+        insert_into_groups(
+            self.trie.insert(self.scheme.signature(elements)),
+            SetRecord(rid, elements),
+        )
+        self._size += 1
+
+    def discard(self, rid: int, elements: frozenset[int]) -> bool:
+        """Remove one tuple; returns ``True`` if it was indexed.
+
+        Emptied groups are dropped and an emptied signature leaf is
+        removed from the trie (restoring Patricia compression).
+        """
+        signature = self.scheme.signature(elements)
+        leaf = self.trie.equal_leaf(signature)
+        if leaf is None:
+            return False
+        groups = leaf.items
+        assert groups is not None
+        for index, group in enumerate(groups):
+            if group.elements == elements:
+                try:
+                    group.ids.remove(rid)
+                except ValueError:
+                    return False
+                if not group.ids:
+                    del groups[index]
+                if not groups:
+                    self.trie.remove(signature)
+                self._size -= 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Probes (each verifies candidates exactly before yielding)
+    # ------------------------------------------------------------------
+    def subsets_of(self, query: frozenset[int]) -> Iterator[CandidateGroup]:
+        """Groups whose set is contained in ``query`` (Algorithm 5 + verify)."""
+        sig = self.scheme.signature(query)
+        for leaf in self.trie.subset_leaves(sig):
+            for group in leaf.items:  # type: ignore[union-attr]
+                if group.elements <= query:
+                    yield group
+
+    def supersets_of(self, query: frozenset[int]) -> Iterator[CandidateGroup]:
+        """Groups whose set contains ``query`` (Algorithm 6 + verify)."""
+        sig = self.scheme.signature(query)
+        for leaf in self.trie.superset_leaves(sig):
+            for group in leaf.items:  # type: ignore[union-attr]
+                if group.elements >= query:
+                    yield group
+
+    def equal_to(self, query: frozenset[int]) -> Iterator[CandidateGroup]:
+        """Groups whose set equals ``query`` (exact trie walk + verify).
+
+        Thanks to merged identical sets (Sec. III-E1) at most a handful of
+        groups share the signature leaf, and exactly one can match.
+        """
+        sig = self.scheme.signature(query)
+        leaf = self.trie.equal_leaf(sig)
+        if leaf is None:
+            return
+        for group in leaf.items:  # type: ignore[union-attr]
+            if group.elements == query:
+                yield group
+                return
+
+    def within_hamming(
+        self, query: frozenset[int], threshold: int
+    ) -> Iterator[tuple[CandidateGroup, int]]:
+        """Groups whose *set* is within symmetric-difference ``threshold``.
+
+        Signature Hamming distance lower-bounds the set symmetric
+        difference (each differing element flips at most one signature
+        bit), so Algorithm 7's trie filter is sound; candidates are then
+        verified on actual sets.  Yields ``(group, |set Δ query|)``.
+        """
+        sig = self.scheme.signature(query)
+        for leaf, _sig_dist in self.trie.hamming_leaves(sig, threshold):
+            for group in leaf.items:  # type: ignore[union-attr]
+                set_dist = len(group.elements ^ query)
+                if set_dist <= threshold:
+                    yield group, set_dist

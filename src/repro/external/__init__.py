@@ -1,0 +1,20 @@
+"""External-memory join strategies.
+
+* :mod:`repro.external.disk_join` — the paper's Sec. III-E4 partitioned
+  nested loop over on-disk partitions.
+* :mod:`repro.external.psj` — the PSJ/APSJ family's pick partitioning
+  (the "smarter partitioning techniques" Sec. III-E4 points to).
+"""
+
+from repro.external.disk_join import DiskPartitionedJoin, disk_partitioned_join
+from repro.external.partition import SpilledRelation, partition_relation
+from repro.external.psj import PickPartitionedSetJoin, psj_join
+
+__all__ = [
+    "DiskPartitionedJoin",
+    "disk_partitioned_join",
+    "SpilledRelation",
+    "partition_relation",
+    "PickPartitionedSetJoin",
+    "psj_join",
+]

@@ -1,0 +1,93 @@
+"""Relation partitioning for the disk-based join (paper Sec. III-E4).
+
+The paper's external-memory strategy is a partitioned nested-loop: split
+both relations into partitions small enough that one pair fits in memory,
+then join every pair of partitions.  This module provides the splitting
+and the on-disk spill format (the ``rid:``-prefixed text format of
+:mod:`repro.relations.io`, which preserves tuple ids across partitions).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ExternalMemoryError
+from repro.relations.io import read_relation_with_ids, write_relation_with_ids
+from repro.relations.relation import Relation
+
+__all__ = ["partition_relation", "SpilledRelation"]
+
+
+def partition_relation(relation: Relation, max_tuples: int) -> list[Relation]:
+    """Split ``relation`` into consecutive chunks of at most ``max_tuples``.
+
+    Tuple ids are preserved, so the union of all partition joins equals the
+    full join.
+
+    Raises:
+        ExternalMemoryError: If ``max_tuples`` is not positive.
+    """
+    if max_tuples <= 0:
+        raise ExternalMemoryError(f"max_tuples must be positive, got {max_tuples}")
+    records = relation.records
+    return [
+        Relation(records[i : i + max_tuples], name=f"{relation.name}[{i // max_tuples}]")
+        for i in range(0, len(records), max_tuples)
+    ] or [Relation((), name=relation.name)]
+
+
+class SpilledRelation:
+    """A relation spilled to disk as one file per partition.
+
+    Models the external-memory setting: partitions are written once, then
+    re-read each time a partition pair is loaded (quadratic I/O in the
+    partition count, as the paper notes for the nested-loop strategy).
+
+    Args:
+        relation: The in-memory relation to spill.
+        directory: Where partition files are written (created if missing).
+        max_tuples: Partition capacity.
+
+    Raises:
+        ExternalMemoryError: On invalid capacity.
+    """
+
+    def __init__(self, relation: Relation, directory: str | Path, max_tuples: int) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.paths: list[Path] = []
+        self.max_tuples = max_tuples
+        stem = relation.name or "relation"
+        for i, part in enumerate(partition_relation(relation, max_tuples)):
+            path = self.directory / f"{stem}.part{i:04d}.txt"
+            write_relation_with_ids(part, path)
+            self.paths.append(path)
+        self.reads = 0
+
+    def __len__(self) -> int:
+        """Number of partitions on disk."""
+        return len(self.paths)
+
+    def load(self, index: int) -> Relation:
+        """Read one partition back into memory (counted in :attr:`reads`).
+
+        Raises:
+            ExternalMemoryError: If ``index`` is out of range.
+        """
+        if not 0 <= index < len(self.paths):
+            raise ExternalMemoryError(
+                f"partition {index} out of range [0, {len(self.paths)})"
+            )
+        self.reads += 1
+        return read_relation_with_ids(self.paths[index])
+
+    def iter_partitions(self) -> Iterator[Relation]:
+        """Load partitions one at a time, in order."""
+        for i in range(len(self.paths)):
+            yield self.load(i)
+
+    def cleanup(self) -> None:
+        """Delete the partition files (idempotent)."""
+        for path in self.paths:
+            path.unlink(missing_ok=True)

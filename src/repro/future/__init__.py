@@ -1,0 +1,21 @@
+"""Paper Sec. VI future-work directions, implemented.
+
+* :class:`~repro.future.multiway.MWTSJ` — multi-way (16-ary) signature
+  trie join ("more advanced data structures such as multi-way trie").
+* :class:`~repro.future.trie_trie.TrieTrieJoin` — simultaneous traversal
+  of two signature tries ("join algorithms such as trie-trie join").
+* :class:`~repro.future.parallel.ParallelJoin` — partition-parallel
+  execution over worker processes ("nontrivial multi-core ... settings").
+"""
+
+from repro.future.multiway import MWTSJ, MultiwayTrie
+from repro.future.parallel import ParallelJoin, parallel_join
+from repro.future.trie_trie import TrieTrieJoin
+
+__all__ = [
+    "MultiwayTrie",
+    "MWTSJ",
+    "TrieTrieJoin",
+    "ParallelJoin",
+    "parallel_join",
+]

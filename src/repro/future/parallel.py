@@ -1,0 +1,99 @@
+"""Multi-core partition-parallel join (paper Sec. VI future work).
+
+"Extending the algorithms to nontrivial multi-core ... settings will be
+essential when relation size goes beyond millions of tuples."
+
+This module provides the straightforward first step: split the probe
+relation ``R`` into chunks and run the chosen in-memory algorithm on each
+chunk in a separate worker process (the index over ``S`` is rebuilt per
+worker — embarrassingly parallel, no shared state).  Output equals the
+sequential join's because ``R ⋈⊇ S = ⋃_i (R_i ⋈⊇ S)``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.base import JoinResult, JoinStats
+from repro.core.registry import make_algorithm
+from repro.errors import AlgorithmError
+from repro.external.partition import partition_relation
+from repro.relations.relation import Relation
+
+__all__ = ["ParallelJoin", "parallel_join"]
+
+
+def _run_chunk(args: tuple[str, dict, Relation, Relation]) -> tuple[list[tuple[int, int]], JoinStats]:
+    """Worker entry point (module-level so it pickles)."""
+    algorithm, kwargs, r_chunk, s = args
+    result = make_algorithm(algorithm, **kwargs).join(r_chunk, s)
+    return result.pairs, result.stats
+
+
+class ParallelJoin:
+    """Partition-parallel set-containment join over worker processes.
+
+    Args:
+        algorithm: Registry name of the per-chunk in-memory algorithm.
+        workers: Worker process count (>= 1).  ``workers=1`` degenerates
+            to the sequential join in-process (no pool), which keeps tests
+            and small inputs cheap.
+        chunks: Number of R-chunks; defaults to ``workers``.
+        **algorithm_kwargs: Forwarded to the algorithm factory.
+
+    Raises:
+        AlgorithmError: On a non-positive worker or chunk count.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "ptsj",
+        workers: int = 2,
+        chunks: int | None = None,
+        **algorithm_kwargs,
+    ) -> None:
+        if workers <= 0:
+            raise AlgorithmError(f"workers must be positive, got {workers}")
+        if chunks is not None and chunks <= 0:
+            raise AlgorithmError(f"chunks must be positive, got {chunks}")
+        self.algorithm = algorithm
+        self.workers = workers
+        self.chunks = chunks or workers
+        self.algorithm_kwargs = algorithm_kwargs
+
+    def join(self, r: Relation, s: Relation) -> JoinResult:
+        """Compute ``R ⋈⊇ S`` across worker processes."""
+        stats = JoinStats(algorithm=f"parallel-{self.algorithm}")
+        chunk_size = max(1, -(-len(r) // self.chunks)) if len(r) else 1
+        r_chunks = partition_relation(r, chunk_size)
+        stats.extras["workers"] = self.workers
+        stats.extras["chunks"] = len(r_chunks)
+
+        tasks = [(self.algorithm, self.algorithm_kwargs, chunk, s) for chunk in r_chunks]
+        pairs: list[tuple[int, int]] = []
+        if self.workers == 1:
+            outcomes = map(_run_chunk, tasks)
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                outcomes = list(pool.map(_run_chunk, tasks))
+        for chunk_pairs, chunk_stats in outcomes:
+            pairs.extend(chunk_pairs)
+            stats.build_seconds += chunk_stats.build_seconds
+            stats.probe_seconds += chunk_stats.probe_seconds
+            stats.candidates += chunk_stats.candidates
+            stats.verifications += chunk_stats.verifications
+            stats.node_visits += chunk_stats.node_visits
+            stats.intersections += chunk_stats.intersections
+            stats.signature_bits = max(stats.signature_bits, chunk_stats.signature_bits)
+        return JoinResult(pairs, stats)
+
+
+def parallel_join(
+    r: Relation,
+    s: Relation,
+    algorithm: str = "ptsj",
+    workers: int = 2,
+    **algorithm_kwargs,
+) -> JoinResult:
+    """One-shot helper around :class:`ParallelJoin`."""
+    return ParallelJoin(algorithm=algorithm, workers=workers, **algorithm_kwargs).join(r, s)

@@ -1,0 +1,5 @@
+"""Inverted-file indexing (PRETTI/PRETTI+ substrate)."""
+
+from repro.index.inverted import InvertedIndex, intersect_sorted
+
+__all__ = ["InvertedIndex", "intersect_sorted"]

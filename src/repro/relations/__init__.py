@@ -1,0 +1,41 @@
+"""Set-valued relations: the data model every join algorithm consumes.
+
+Public surface:
+
+* :class:`~repro.relations.relation.SetRecord` — one tuple ``(rid, elements)``.
+* :class:`~repro.relations.relation.Relation` — an immutable collection of records.
+* :class:`~repro.relations.universe.Universe` — label <-> int dictionary.
+* :class:`~repro.relations.stats.RelationStats` / :func:`~repro.relations.stats.compute_stats`
+  — the Table III statistics.
+* :mod:`repro.relations.io` — plain-text (de)serialisation.
+"""
+
+from repro.relations.io import (
+    read_join_result,
+    read_relation,
+    read_relation_with_ids,
+    write_join_result,
+    write_relation,
+    write_relation_with_ids,
+)
+from repro.relations.relation import Relation, SetRecord
+from repro.relations.stats import RelationStats, compute_stats
+from repro.relations.transforms import apply_universe, densify, relabel_by_frequency
+from repro.relations.universe import Universe
+
+__all__ = [
+    "Relation",
+    "SetRecord",
+    "Universe",
+    "RelationStats",
+    "compute_stats",
+    "densify",
+    "relabel_by_frequency",
+    "apply_universe",
+    "read_relation",
+    "write_relation",
+    "read_relation_with_ids",
+    "write_relation_with_ids",
+    "read_join_result",
+    "write_join_result",
+]

@@ -1,0 +1,115 @@
+"""Plain-text I/O for set-valued relations.
+
+Two formats are supported:
+
+* **set-per-line** (the format used by most public set-join datasets):
+  each line is a whitespace-separated list of integer elements; the line
+  number is the tuple id.
+
+* **id-prefixed**: each line is ``rid: e1 e2 e3 ...`` — useful when ids are
+  not dense (e.g. after :meth:`Relation.filter_cardinality`).
+
+Both writers emit sorted elements so files are canonical and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.errors import RelationError
+from repro.relations.relation import Relation, SetRecord
+
+__all__ = [
+    "write_relation",
+    "read_relation",
+    "write_relation_with_ids",
+    "read_relation_with_ids",
+]
+
+
+def _open_for_read(path: str | Path) -> TextIO:
+    return Path(path).open("r", encoding="utf-8")
+
+
+def write_relation(relation: Relation, path: str | Path) -> None:
+    """Write ``relation`` in set-per-line format (ids become line numbers)."""
+    with Path(path).open("w", encoding="utf-8") as out:
+        for rec in relation:
+            out.write(" ".join(map(str, rec.sorted_elements())))
+            out.write("\n")
+
+
+def read_relation(path: str | Path, name: str = "") -> Relation:
+    """Read a set-per-line file; tuple ids are 0-based line numbers.
+
+    Blank lines denote empty sets (they are legal set values).
+
+    Raises:
+        RelationError: On a non-integer token.
+    """
+    records: list[SetRecord] = []
+    with _open_for_read(path) as src:
+        for lineno, line in enumerate(src):
+            stripped = line.strip()
+            try:
+                elements = frozenset(int(tok) for tok in stripped.split()) if stripped else frozenset()
+            except ValueError as exc:
+                raise RelationError(f"{path}:{lineno + 1}: non-integer element") from exc
+            records.append(SetRecord(lineno, elements))
+    return Relation(records, name=name or Path(path).stem)
+
+
+def write_relation_with_ids(relation: Relation, path: str | Path) -> None:
+    """Write ``relation`` in ``rid: e1 e2 ...`` format, preserving ids."""
+    with Path(path).open("w", encoding="utf-8") as out:
+        for rec in relation:
+            out.write(f"{rec.rid}: ")
+            out.write(" ".join(map(str, rec.sorted_elements())))
+            out.write("\n")
+
+
+def read_relation_with_ids(path: str | Path, name: str = "") -> Relation:
+    """Read an ``rid: e1 e2 ...`` file, preserving the stored ids.
+
+    Raises:
+        RelationError: On a malformed line or duplicate id.
+    """
+    records: list[SetRecord] = []
+    with _open_for_read(path) as src:
+        for lineno, line in enumerate(src):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            head, sep, tail = stripped.partition(":")
+            if not sep:
+                raise RelationError(f"{path}:{lineno + 1}: missing 'rid:' prefix")
+            try:
+                rid = int(head)
+                elements = frozenset(int(tok) for tok in tail.split())
+            except ValueError as exc:
+                raise RelationError(f"{path}:{lineno + 1}: non-integer token") from exc
+            records.append(SetRecord(rid, elements))
+    return Relation(records, name=name or Path(path).stem)
+
+
+def write_join_result(pairs: Iterable[tuple[int, int]], path: str | Path) -> None:
+    """Write join output pairs, one ``r_id s_id`` per line, sorted."""
+    with Path(path).open("w", encoding="utf-8") as out:
+        for r_id, s_id in sorted(pairs):
+            out.write(f"{r_id} {s_id}\n")
+
+
+def read_join_result(path: str | Path) -> list[tuple[int, int]]:
+    """Read pairs written by :func:`write_join_result`."""
+    pairs: list[tuple[int, int]] = []
+    with _open_for_read(path) as src:
+        for lineno, line in enumerate(src):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise RelationError(f"{path}:{lineno + 1}: expected two ids per line")
+            pairs.append((int(parts[0]), int(parts[1])))
+    return pairs

@@ -1,0 +1,77 @@
+"""Relation transformations: densification and relabelling.
+
+Real-world set data arrives with *sparse* element ids (hashes, 64-bit
+surrogate keys, pruned dictionaries).  The algorithms stay correct on
+sparse ids, but two things degrade:
+
+* the Sec. III-D signature-length rule reads the domain cardinality ``d``
+  off the id space — a sparse space inflates it (harmless, the 16c term
+  then wins, but the b = d "exact bitmap" option becomes unreachable);
+* the paper's ``x mod b`` hash distributes best over dense ids, and
+  PRETTI's per-node child maps churn on huge keys.
+
+:func:`densify` remaps a relation onto the dense domain ``0..d-1`` (with
+the :class:`~repro.relations.universe.Universe` to map back), and
+:func:`relabel_by_frequency` additionally orders ids by descending element
+frequency — which packs the Zipf head into the low ids, exactly the
+layout the surrogate generators emit and the layout that puts frequent
+elements near the PRETTI trie root (the paper's Fig. 7d observation).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.relations.relation import Relation, SetRecord
+from repro.relations.universe import Universe
+
+__all__ = ["densify", "relabel_by_frequency", "apply_universe"]
+
+
+def densify(relation: Relation) -> tuple[Relation, Universe]:
+    """Remap elements onto ``0..d-1`` in first-seen order.
+
+    Returns the remapped relation (same tuple ids) and the
+    :class:`Universe` whose ``decode`` recovers original element ids.
+
+    >>> rel, uni = densify(Relation.from_sets([{10**9, 7}, {7}]))
+    >>> sorted(rel[0].elements), sorted(rel[1].elements)
+    ([0, 1], [1])
+    """
+    universe = Universe()
+    records = []
+    for rec in relation:
+        encoded = frozenset(universe.encode(e) for e in rec.sorted_elements())
+        records.append(SetRecord(rec.rid, encoded))
+    return Relation(records, name=relation.name), universe
+
+
+def relabel_by_frequency(relation: Relation) -> tuple[Relation, Universe]:
+    """Remap elements onto ``0..d-1`` by descending frequency.
+
+    The most frequent element becomes id 0.  Ties break by original id,
+    keeping the transform deterministic.
+    """
+    counts: Counter[int] = Counter()
+    for rec in relation:
+        counts.update(rec.elements)
+    ordered = sorted(counts, key=lambda e: (-counts[e], e))
+    universe = Universe(ordered)
+    records = [
+        SetRecord(rec.rid, frozenset(universe.encode(e) for e in rec.elements))
+        for rec in relation
+    ]
+    return Relation(records, name=relation.name), universe
+
+
+def apply_universe(relation: Relation, universe: Universe) -> Relation:
+    """Encode a second relation with an existing dictionary.
+
+    Used to put the probe relation on the same dense domain as an already
+    densified indexed relation; unseen elements extend the dictionary.
+    """
+    records = [
+        SetRecord(rec.rid, frozenset(universe.encode(e) for e in rec.sorted_elements()))
+        for rec in relation
+    ]
+    return Relation(records, name=relation.name)

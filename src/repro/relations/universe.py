@@ -1,0 +1,80 @@
+"""Element dictionary: bidirectional encoding of labels to integer ids.
+
+The paper assumes "domain values and tuple IDs are represented as integers"
+(Sec. II).  Real data carries string labels (tags, community names, URLs);
+:class:`Universe` maps labels to dense non-negative ints and back, so every
+other module only ever sees integers.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+__all__ = ["Universe"]
+
+
+class Universe:
+    """A dense, insertion-ordered label <-> id dictionary.
+
+    Ids are assigned ``0, 1, 2, ...`` in first-seen order, which keeps the
+    encoded domain dense — important because signature hashing (``x mod b``)
+    and inverted-index arrays assume a compact integer domain.
+
+    >>> u = Universe()
+    >>> u.encode("rock"), u.encode("jazz"), u.encode("rock")
+    (0, 1, 0)
+    >>> u.decode(1)
+    'jazz'
+    """
+
+    __slots__ = ("_label_to_id", "_id_to_label")
+
+    def __init__(self, labels: Iterable[Hashable] = ()) -> None:
+        self._label_to_id: dict[Hashable, int] = {}
+        self._id_to_label: list[Hashable] = []
+        for label in labels:
+            self.encode(label)
+
+    def __len__(self) -> int:
+        return len(self._id_to_label)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._label_to_id
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._id_to_label)
+
+    def __repr__(self) -> str:
+        return f"<Universe |d|={len(self)}>"
+
+    def encode(self, label: Hashable) -> int:
+        """Return the id for ``label``, assigning a fresh one if unseen."""
+        existing = self._label_to_id.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_label)
+        self._label_to_id[label] = new_id
+        self._id_to_label.append(label)
+        return new_id
+
+    def encode_set(self, labels: Iterable[Hashable]) -> frozenset[int]:
+        """Encode an iterable of labels into a frozenset of ids."""
+        return frozenset(self.encode(label) for label in labels)
+
+    def lookup(self, label: Hashable) -> int | None:
+        """Return the id for ``label`` or ``None`` without assigning one."""
+        return self._label_to_id.get(label)
+
+    def decode(self, element_id: int) -> Hashable:
+        """Return the label for ``element_id``.
+
+        Raises:
+            IndexError: If the id was never assigned.
+        """
+        if element_id < 0:
+            raise IndexError(f"element id must be non-negative, got {element_id}")
+        return self._id_to_label[element_id]
+
+    def decode_set(self, element_ids: Iterable[int]) -> frozenset[Hashable]:
+        """Decode a collection of ids back to labels."""
+        return frozenset(self.decode(e) for e in element_ids)

@@ -1,0 +1,66 @@
+"""Signature bitmaps: hashing, bit algebra, length selection, cost model.
+
+This package is the substrate of every signature-based join (SHJ, TSJ, PTSJ):
+
+* :mod:`repro.signatures.bitmap` — bit algebra on int-backed signatures.
+* :mod:`repro.signatures.hashing` — set -> signature hash schemes.
+* :mod:`repro.signatures.length` — the Sec. III-D length strategy.
+* :mod:`repro.signatures.cost_model` — the Sec. III-C analytical model.
+"""
+
+from repro.signatures.bitmap import (
+    bit_segment,
+    bits_to_sig,
+    full_mask,
+    get_bit,
+    hamming,
+    is_subset_sig,
+    is_superset_sig,
+    popcount,
+    set_bit,
+    sig_to_bits,
+    validate_signature,
+)
+from repro.signatures.cost_model import (
+    PTSJCostEstimate,
+    estimate_ptsj_cost,
+    expected_candidates,
+    expected_candidates_uniform_cardinality,
+    expected_trie_height,
+    expected_visited_nodes,
+    query_cost_upper_bound,
+)
+from repro.signatures.hashing import (
+    ModuloScheme,
+    ScrambleScheme,
+    SignatureScheme,
+    signature_of,
+)
+from repro.signatures.length import SignatureLengthStrategy, choose_signature_length
+
+__all__ = [
+    "is_subset_sig",
+    "is_superset_sig",
+    "popcount",
+    "hamming",
+    "get_bit",
+    "set_bit",
+    "bit_segment",
+    "sig_to_bits",
+    "bits_to_sig",
+    "full_mask",
+    "validate_signature",
+    "SignatureScheme",
+    "ModuloScheme",
+    "ScrambleScheme",
+    "signature_of",
+    "SignatureLengthStrategy",
+    "choose_signature_length",
+    "PTSJCostEstimate",
+    "estimate_ptsj_cost",
+    "expected_candidates",
+    "expected_candidates_uniform_cardinality",
+    "expected_trie_height",
+    "expected_visited_nodes",
+    "query_cost_upper_bound",
+]

@@ -1,0 +1,187 @@
+"""Analytical cost model for PTSJ (paper Sec. III-C).
+
+The paper decomposes PTSJ's cost as
+
+    C_PTSJ = C_create_PT + C_query_PT + C_compare_set
+
+and derives closed-form estimates for the two data-dependent quantities:
+
+* ``N`` — the expected number of S-tuples surviving the signature filter per
+  R-tuple, which drives ``C_compare_set = N * c * |R|``;
+* ``V`` — the expected number of Patricia-trie nodes visited per query,
+  which drives ``C_query_PT <= |R| * V * (b / (H * Int) + 1)``.
+
+These estimates justify the signature-length strategy of Sec. III-D and are
+exercised by the unit tests (monotonicity in each parameter) and by the
+``benchmarks/test_fig5_signature_length.py`` sweep, which compares the
+model's preferred region with measured running times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SignatureError
+
+__all__ = [
+    "expected_candidates",
+    "expected_candidates_uniform_cardinality",
+    "expected_visited_nodes",
+    "expected_trie_height",
+    "query_cost_upper_bound",
+    "PTSJCostEstimate",
+    "estimate_ptsj_cost",
+]
+
+
+def _check_positive(**params: float) -> None:
+    for name, value in params.items():
+        if value <= 0:
+            raise SignatureError(f"{name} must be positive, got {value}")
+
+
+def expected_candidates(
+    s_size: int,
+    data_cardinality: float,
+    query_cardinality: float,
+    bits: int,
+) -> float:
+    """Estimate ``N``: S-tuples whose signature is ⊑ one query signature.
+
+    Paper derivation: each element of a data set lands on one of ``b`` bits
+    uniformly; for the data signature to be contained in the query signature
+    every data element must land on one of the query's ``c_q`` set positions,
+    with probability ``c_q / b`` each.  Hence
+
+        N = |S| * (c_q / b) ** c_d
+    """
+    _check_positive(s_size=s_size, data_cardinality=data_cardinality,
+                    query_cardinality=query_cardinality, bits=bits)
+    p = min(query_cardinality / bits, 1.0)
+    return s_size * p ** data_cardinality
+
+
+def expected_candidates_uniform_cardinality(
+    s_size: int,
+    max_data_cardinality: int,
+    query_cardinality: float,
+    bits: int,
+) -> float:
+    """The paper's refinement when ``c_d`` is uniform on ``[1, c_d_max]``.
+
+    Averages ``p ** k`` over ``k = 1..c_d_max`` (a finite geometric series):
+
+        N = |S| * (p + p^2 + ... + p^cd) / cd = |S| * p(1 - p^cd) / (cd (1 - p))
+    """
+    _check_positive(s_size=s_size, max_data_cardinality=max_data_cardinality,
+                    query_cardinality=query_cardinality, bits=bits)
+    p = min(query_cardinality / bits, 1.0)
+    cd = max_data_cardinality
+    if p >= 1.0:
+        return float(s_size)
+    series = p * (1.0 - p ** cd) / (1.0 - p)
+    return s_size * series / cd
+
+
+def expected_trie_height(s_size: int) -> float:
+    """Average Patricia-trie height ``H ~ log2(2 |S|)`` for a balanced trie.
+
+    Sec. III-C2: with higher cardinalities the trie is near balanced, so the
+    height approaches ``log2`` of the node count (at most ``2|S|`` nodes).
+    """
+    _check_positive(s_size=s_size)
+    return math.log2(2 * s_size)
+
+
+def expected_visited_nodes(
+    s_size: int,
+    set_cardinality: float,
+    bits: int,
+) -> float:
+    """Estimate ``V``: Patricia-trie nodes visited per query (formula 2).
+
+    Paper formula (2): with ``x = (1 - c/b) * H`` single-branch levels at the
+    bottom of the trie,
+
+        V = (1 + H (1 - c/b)) * 2 ** (H * c / b)   <=   (1 + H) * |S| ** (c/b)
+    """
+    _check_positive(s_size=s_size, set_cardinality=set_cardinality, bits=bits)
+    h = expected_trie_height(s_size)
+    ratio = min(set_cardinality / bits, 1.0)
+    return (1.0 + h * (1.0 - ratio)) * 2.0 ** (h * ratio)
+
+
+def query_cost_upper_bound(
+    r_size: int,
+    s_size: int,
+    set_cardinality: float,
+    bits: int,
+    int_bits: int = 32,
+) -> float:
+    """Upper bound on ``C_query_PT`` in integer comparisons (formula 1).
+
+        C_query_PT <= |R| * V * (b / (H * Int) + 1)
+    """
+    _check_positive(r_size=r_size, int_bits=int_bits)
+    v = expected_visited_nodes(s_size, set_cardinality, bits)
+    h = expected_trie_height(s_size)
+    return r_size * v * (bits / (h * int_bits) + 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class PTSJCostEstimate:
+    """A full Sec. III-C cost breakdown for one workload configuration.
+
+    All quantities are *model units* (expected counts of elementary
+    operations), not seconds.
+
+    Attributes:
+        candidates_per_query: ``N``.
+        visited_nodes_per_query: ``V``.
+        trie_height: ``H``.
+        create_cost: Trie construction bound ``|S| * b`` bit steps.
+        query_cost: ``C_query_PT`` upper bound (integer comparisons).
+        compare_cost: ``C_compare_set = N * c * |R|`` element comparisons.
+    """
+
+    candidates_per_query: float
+    visited_nodes_per_query: float
+    trie_height: float
+    create_cost: float
+    query_cost: float
+    compare_cost: float
+
+    @property
+    def total(self) -> float:
+        """Sum of the three cost components (model units)."""
+        return self.create_cost + self.query_cost + self.compare_cost
+
+
+def estimate_ptsj_cost(
+    r_size: int,
+    s_size: int,
+    set_cardinality: float,
+    bits: int,
+    int_bits: int = 32,
+) -> PTSJCostEstimate:
+    """Evaluate the whole Sec. III-C model at one configuration.
+
+    The model's qualitative predictions (checked in tests):
+
+    * ``N`` shrinks as ``b`` grows and grows with ``|S|``;
+    * ``V`` grows with ``|S|`` and ``c``, shrinks as ``b`` grows;
+    * the total has an interior minimum in ``b`` — the basis for the
+      Sec. III-D sweet spot.
+    """
+    n = expected_candidates(s_size, set_cardinality, set_cardinality, bits)
+    v = expected_visited_nodes(s_size, set_cardinality, bits)
+    h = expected_trie_height(s_size)
+    return PTSJCostEstimate(
+        candidates_per_query=n,
+        visited_nodes_per_query=v,
+        trie_height=h,
+        create_cost=float(s_size) * bits,
+        query_cost=query_cost_upper_bound(r_size, s_size, set_cardinality, bits, int_bits),
+        compare_cost=n * set_cardinality * r_size,
+    )

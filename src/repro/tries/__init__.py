@@ -1,0 +1,27 @@
+"""Trie data structures: the paper's central machinery.
+
+* :class:`~repro.tries.binary_trie.BinaryTrie` — uncompressed signature trie
+  (paper Sec. III-A, Algorithm 4; kept as an ablation baseline).
+* :class:`~repro.tries.patricia.PatriciaTrie` — Patricia trie over
+  signatures (Sec. III-B, Algorithms 5/6/7; PTSJ's index).
+* :class:`~repro.tries.set_trie.SetTrie` — element-space prefix tree
+  (Sec. II-B; PRETTI's index).
+* :class:`~repro.tries.set_patricia.SetPatriciaTrie` — element-space
+  Patricia trie (Sec. IV, Algorithm 8; PRETTI+'s index).
+"""
+
+from repro.tries.binary_trie import BinaryTrie, BinaryTrieNode
+from repro.tries.patricia import PatriciaNode, PatriciaTrie
+from repro.tries.set_patricia import SetPatriciaNode, SetPatriciaTrie
+from repro.tries.set_trie import SetTrie, SetTrieNode
+
+__all__ = [
+    "BinaryTrie",
+    "BinaryTrieNode",
+    "PatriciaTrie",
+    "PatriciaNode",
+    "SetTrie",
+    "SetTrieNode",
+    "SetPatriciaTrie",
+    "SetPatriciaNode",
+]

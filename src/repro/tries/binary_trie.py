@@ -1,0 +1,201 @@
+"""Plain (uncompressed) binary trie over signatures (paper Sec. III-A).
+
+This is the stepping-stone structure the paper introduces before the
+Patricia trie: one node per bit level, so a trie over ``k`` signatures of
+``b`` bits needs up to ``k * (b - lg2 k) + 2k`` nodes — the single-branch
+chains that make Algorithm 4 *slower than SHJ* in practice (the paper
+excludes it from its empirical study for that reason; this repository keeps
+it as an ablation baseline, see ``benchmarks/test_ablation_plain_trie.py``).
+
+:meth:`BinaryTrie.subset_leaves` is the paper's Algorithm 4 (TRIEENUM): a
+level-synchronous breadth-first walk that keeps, at level ``i``, exactly the
+nodes whose path prefix is contained in the query's first ``i`` bits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator
+
+from repro.errors import TrieError
+from repro.signatures.bitmap import get_bit, validate_signature
+
+__all__ = ["BinaryTrieNode", "BinaryTrie"]
+
+
+class BinaryTrieNode:
+    """One node of the uncompressed trie; one bit of path per level.
+
+    Attributes:
+        left: Child on bit 0, or ``None``.
+        right: Child on bit 1, or ``None``.
+        signature: The full signature (leaves only).
+        items: Caller-managed payload list (leaves only).
+    """
+
+    __slots__ = ("left", "right", "signature", "items")
+
+    def __init__(self) -> None:
+        self.left: BinaryTrieNode | None = None
+        self.right: BinaryTrieNode | None = None
+        self.signature: int | None = None
+        self.items: list[Any] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.items is not None
+
+
+class BinaryTrie:
+    """Uncompressed binary trie over ``bits``-wide signatures.
+
+    Same payload contract as :class:`repro.tries.patricia.PatriciaTrie`:
+    :meth:`insert` returns the leaf's ``items`` list.
+
+    Args:
+        bits: Signature width.
+
+    Raises:
+        TrieError: If ``bits`` is not positive.
+    """
+
+    def __init__(self, bits: int) -> None:
+        if bits <= 0:
+            raise TrieError(f"signature width must be positive, got {bits}")
+        self.bits = bits
+        self.root = BinaryTrieNode()
+        self.leaf_count = 0
+        self.visits_last_query = 0
+
+    def insert(self, signature: int) -> list[Any]:
+        """Insert ``signature``; return the (possibly shared) leaf payload list."""
+        validate_signature(signature, self.bits)
+        node = self.root
+        for position in range(self.bits):
+            if get_bit(signature, position, self.bits):
+                if node.right is None:
+                    node.right = BinaryTrieNode()
+                node = node.right
+            else:
+                if node.left is None:
+                    node.left = BinaryTrieNode()
+                node = node.left
+        if node.items is None:
+            node.items = []
+            node.signature = signature
+            self.leaf_count += 1
+        return node.items
+
+    def subset_leaves(self, signature: int) -> list[BinaryTrieNode]:
+        """Algorithm 4 (TRIEENUM): leaves whose signature is ``⊑ signature``.
+
+        Level-synchronous BFS: at level ``i`` the queue holds every node
+        whose path prefix is a subset of the query's first ``i`` bits; a
+        query bit of 0 keeps only left children, a 1 keeps both.
+        """
+        validate_signature(signature, self.bits)
+        queue: deque[BinaryTrieNode] = deque((self.root,))
+        visits = 1
+        for position in range(self.bits):
+            bit = get_bit(signature, position, self.bits)
+            for _ in range(len(queue)):
+                node = queue.popleft()
+                if node.left is not None:
+                    queue.append(node.left)
+                    visits += 1
+                if bit and node.right is not None:
+                    queue.append(node.right)
+                    visits += 1
+        self.visits_last_query = visits
+        return [node for node in queue if node.is_leaf]
+
+    def superset_leaves(self, signature: int) -> list[BinaryTrieNode]:
+        """Algorithm 6: leaves whose signature covers ``signature``.
+
+        The branch rule is switched relative to Algorithm 4: a query bit of
+        1 keeps only right children, a 0 keeps both.
+        """
+        validate_signature(signature, self.bits)
+        queue: deque[BinaryTrieNode] = deque((self.root,))
+        visits = 1
+        for position in range(self.bits):
+            bit = get_bit(signature, position, self.bits)
+            for _ in range(len(queue)):
+                node = queue.popleft()
+                if node.right is not None:
+                    queue.append(node.right)
+                    visits += 1
+                if not bit and node.left is not None:
+                    queue.append(node.left)
+                    visits += 1
+        self.visits_last_query = visits
+        return [node for node in queue if node.is_leaf]
+
+    def hamming_leaves(self, signature: int, threshold: int) -> list[tuple[BinaryTrieNode, int]]:
+        """Algorithm 7 (TRIESSJ): leaves within Hamming ``threshold``.
+
+        Each queue entry carries the mismatch count accumulated so far; a
+        branch that disagrees with the query bit increments it, and entries
+        above ``threshold`` are dropped.
+
+        Raises:
+            TrieError: If ``threshold`` is negative.
+        """
+        validate_signature(signature, self.bits)
+        if threshold < 0:
+            raise TrieError(f"hamming threshold must be non-negative, got {threshold}")
+        queue: deque[tuple[BinaryTrieNode, int]] = deque(((self.root, 0),))
+        visits = 1
+        for position in range(self.bits):
+            bit = get_bit(signature, position, self.bits)
+            for _ in range(len(queue)):
+                node, dist = queue.popleft()
+                left_dist = dist + (1 if bit else 0)
+                right_dist = dist + (0 if bit else 1)
+                if node.left is not None and left_dist <= threshold:
+                    queue.append((node.left, left_dist))
+                    visits += 1
+                if node.right is not None and right_dist <= threshold:
+                    queue.append((node.right, right_dist))
+                    visits += 1
+        self.visits_last_query = visits
+        return [(node, dist) for node, dist in queue if node.is_leaf]
+
+    def equal_leaf(self, signature: int) -> BinaryTrieNode | None:
+        """Exact lookup of one signature's leaf, or ``None``."""
+        validate_signature(signature, self.bits)
+        node: BinaryTrieNode | None = self.root
+        for position in range(self.bits):
+            if node is None:
+                return None
+            node = node.right if get_bit(signature, position, self.bits) else node.left
+        return node if node is not None and node.is_leaf else None
+
+    def __len__(self) -> int:
+        """Number of distinct signatures stored."""
+        return self.leaf_count
+
+    def leaves(self) -> Iterator[BinaryTrieNode]:
+        """Iterate all leaves, left (0) branches first."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def node_count(self) -> int:
+        """Total allocated nodes — exhibits the single-branch blow-up."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return count

@@ -1,0 +1,183 @@
+"""Element-space prefix tree (trie) for PRETTI (paper Sec. II-B, Fig. 1).
+
+PRETTI indexes the relation ``S`` by inserting each tuple's *sorted* element
+sequence into a trie whose edges are labelled with elements.  Along any
+root-to-leaf path, descendants' sets contain ancestors' sets — the property
+PRETTI's single traversal exploits to reuse early containment results.
+
+Children are stored in a per-node hash map, matching the paper's
+implementation note ("we maintain a hash map in each trie node to enable
+fast access to children while traversing", Sec. V-A3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import TrieError
+
+__all__ = ["SetTrieNode", "SetTrie"]
+
+
+class SetTrieNode:
+    """One PRETTI trie node: an element label, tuple ids, and children.
+
+    Attributes:
+        label: The element on the edge into this node (``-1`` at the root).
+        tuples: Ids of S-tuples whose sorted set ends exactly here.
+        children: ``{element: child}`` hash map.
+    """
+
+    __slots__ = ("label", "tuples", "children")
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+        self.tuples: list[int] = []
+        self.children: dict[int, SetTrieNode] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SetTrieNode label={self.label} tuples={len(self.tuples)}>"
+
+
+class SetTrie:
+    """Prefix tree over sorted element sequences (PRETTI's index on ``S``)."""
+
+    ROOT_LABEL = -1
+
+    def __init__(self) -> None:
+        self.root = SetTrieNode(self.ROOT_LABEL)
+        self.size = 0
+
+    def insert(self, elements: Sequence[int], rid: int) -> None:
+        """Insert tuple ``rid`` with the given *ascending* element sequence.
+
+        Tuples with empty sets legitimately live at the root: the empty set
+        is contained in every set.
+
+        Raises:
+            TrieError: If ``elements`` is not strictly ascending.
+        """
+        node = self.root
+        previous = -1
+        for element in elements:
+            if element <= previous:
+                raise TrieError(
+                    f"elements must be strictly ascending, got {element} after {previous}"
+                )
+            previous = element
+            child = node.children.get(element)
+            if child is None:
+                child = SetTrieNode(element)
+                node.children[element] = child
+            node = child
+        node.tuples.append(rid)
+        self.size += 1
+
+    def __len__(self) -> int:
+        """Number of inserted tuples."""
+        return self.size
+
+    def node_count(self) -> int:
+        """Total trie nodes including the root — PRETTI's memory driver."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count
+
+    def height(self) -> int:
+        """Longest root-to-leaf path in edges = largest set cardinality."""
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            best = max(best, depth)
+            for child in node.children.values():
+                stack.append((child, depth + 1))
+        return best
+
+    # ------------------------------------------------------------------
+    # Set-trie search operations
+    # ------------------------------------------------------------------
+    def subsets_of(self, query: frozenset[int]) -> list[int]:
+        """Ids of stored sets that are subsets of ``query``.
+
+        Classic set-trie search: descend only into children whose label is
+        in the query; every node reached has a path contained in the
+        query, so all its resident tuples qualify.  This is the
+        single-query analogue of PRETTI's join traversal.
+        """
+        result: list[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            result.extend(node.tuples)
+            children = node.children
+            if len(children) <= len(query):
+                for label, child in children.items():
+                    if label in query:
+                        stack.append(child)
+            else:
+                for label in query:
+                    child = children.get(label)
+                    if child is not None and label > node.label:
+                        stack.append(child)
+        return result
+
+    def supersets_of(self, query: frozenset[int]) -> list[int]:
+        """Ids of stored sets that contain ``query``.
+
+        Walks the trie consuming the sorted query: a child labelled below
+        the next needed element is an optional extra, a child matching it
+        consumes it, and children labelled above it cannot lead to a match
+        (labels ascend along paths).
+        """
+        needed = sorted(query)
+        result: list[int] = []
+        stack: list[tuple[SetTrieNode, int]] = [(self.root, 0)]
+        while stack:
+            node, i = stack.pop()
+            if i == len(needed):
+                # Everything below (and here) contains the whole query.
+                collect = [node]
+                while collect:
+                    current = collect.pop()
+                    result.extend(current.tuples)
+                    collect.extend(current.children.values())
+                continue
+            target = needed[i]
+            for label, child in node.children.items():
+                if label < target:
+                    stack.append((child, i))
+                elif label == target:
+                    stack.append((child, i + 1))
+        return result
+
+    def walk(self) -> Iterator[tuple[SetTrieNode, tuple[int, ...]]]:
+        """Depth-first iteration of ``(node, path_elements)`` pairs."""
+        stack: list[tuple[SetTrieNode, tuple[int, ...]]] = [(self.root, ())]
+        while stack:
+            node, path = stack.pop()
+            yield node, path
+            for child in node.children.values():
+                stack.append((child, path + (child.label,)))
+
+    def check_invariants(self) -> None:
+        """Validate that every path is strictly ascending in labels.
+
+        Raises:
+            TrieError: On the first violated invariant.
+        """
+        stack: list[SetTrieNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            for label, child in node.children.items():
+                if label != child.label:
+                    raise TrieError(f"child keyed {label} has label {child.label}")
+                if node is not self.root and child.label <= node.label:
+                    raise TrieError(
+                        f"labels not ascending: {child.label} under {node.label}"
+                    )
+                stack.append(child)

@@ -1,0 +1,133 @@
+"""Unit tests for the plain binary trie (Algorithm 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SignatureError, TrieError
+from repro.signatures.bitmap import bits_to_sig
+from repro.tries.binary_trie import BinaryTrie
+from tests.test_patricia_trie import brute_subsets, brute_supersets, random_signatures
+
+
+def build(bits: int, signatures: list[int]) -> BinaryTrie:
+    trie = BinaryTrie(bits)
+    for i, sig in enumerate(signatures):
+        trie.insert(sig).append(i)
+    return trie
+
+
+class TestConstruction:
+    def test_invalid_width(self):
+        with pytest.raises(TrieError):
+            BinaryTrie(0)
+
+    def test_empty_trie_queries(self):
+        trie = BinaryTrie(8)
+        assert trie.subset_leaves(0xFF) == []
+        assert trie.superset_leaves(0) == []
+        assert trie.equal_leaf(0) is None
+        assert len(trie) == 0
+
+    def test_duplicate_signature_shares_leaf(self):
+        trie = BinaryTrie(6)
+        assert trie.insert(0b101) is trie.insert(0b101)
+        assert len(trie) == 1
+
+    def test_signature_too_wide_rejected(self):
+        with pytest.raises(SignatureError):
+            BinaryTrie(4).insert(0b10000)
+
+    def test_paper_figure2_node_count(self):
+        """Fig. 2: inserting 0101, 0110, 1011 into a plain 4-bit trie makes
+        11 nodes (root + 4 + 2 + 4), versus the Patricia trie's 5 — the
+        single-branch blow-up of Sec. III-A."""
+        sigs = [bits_to_sig(s) for s in ("0101", "0110", "1011")]
+        trie = build(4, sigs)
+        assert trie.node_count() == 11
+
+    def test_single_branch_blowup_vs_patricia(self):
+        """k (b - lg k) + 2k growth: far more nodes than 2k - 1."""
+        sigs = random_signatures(50, 64, 0.2, seed=30)
+        trie = build(64, sigs)
+        assert trie.node_count() > 4 * len(trie)
+
+    def test_leaves_enumerate_signatures(self):
+        sigs = random_signatures(60, 16, 0.5, seed=31)
+        trie = build(16, sigs)
+        assert {leaf.signature for leaf in trie.leaves()} == set(sigs)
+
+
+class TestSubsetEnumeration:
+    def test_paper_example(self):
+        """Querying 0111 (u1) returns leaves p1 (0101) and p2 (0110)."""
+        trie = BinaryTrie(4)
+        trie.insert(bits_to_sig("0101")).append("p1")
+        trie.insert(bits_to_sig("0110")).append("p2")
+        trie.insert(bits_to_sig("1011")).append("p3")
+        found = {item for leaf in trie.subset_leaves(bits_to_sig("0111"))
+                 for item in leaf.items}
+        assert found == {"p1", "p2"}
+
+    @pytest.mark.parametrize("density", [0.2, 0.5])
+    def test_matches_brute_force(self, density):
+        bits = 20
+        sigs = random_signatures(100, bits, density, seed=32)
+        trie = build(bits, sigs)
+        for query in random_signatures(30, bits, density, seed=33):
+            found = {leaf.signature for leaf in trie.subset_leaves(query)}
+            assert found == brute_subsets(sigs, query)
+
+    def test_visits_exceed_patricia(self):
+        """The same query walks more nodes than the Patricia trie — the
+        reason the paper rejects Algorithm 4."""
+        from repro.tries.patricia import PatriciaTrie
+
+        bits = 48
+        sigs = random_signatures(100, bits, 0.2, seed=34)
+        plain = build(bits, sigs)
+        patricia = PatriciaTrie(bits)
+        for sig in sigs:
+            patricia.insert(sig)
+        query = sigs[0] | sigs[1] | sigs[2]
+        plain_found = {leaf.signature for leaf in plain.subset_leaves(query)}
+        pat_found = {leaf.signature for leaf in patricia.subset_leaves(query)}
+        assert plain_found == pat_found
+        assert plain.visits_last_query > patricia.visits_last_query
+
+
+class TestSupersetEnumeration:
+    def test_matches_brute_force(self):
+        bits = 18
+        sigs = random_signatures(80, bits, 0.4, seed=35)
+        trie = build(bits, sigs)
+        for query in random_signatures(25, bits, 0.2, seed=36):
+            found = {leaf.signature for leaf in trie.superset_leaves(query)}
+            assert found == brute_supersets(sigs, query)
+
+
+class TestEqualAndHamming:
+    def test_equal_lookup(self):
+        sigs = random_signatures(50, 16, 0.5, seed=37)
+        trie = build(16, sigs)
+        assert trie.equal_leaf(sigs[0]).signature == sigs[0]
+
+    def test_hamming_negative_threshold(self):
+        with pytest.raises(TrieError):
+            build(8, [1]).hamming_leaves(0, -2)
+
+    @pytest.mark.parametrize("threshold", [0, 2, 4])
+    def test_hamming_matches_brute_force(self, threshold):
+        bits = 14
+        sigs = random_signatures(70, bits, 0.5, seed=38)
+        trie = build(bits, sigs)
+        for query in random_signatures(15, bits, 0.5, seed=39):
+            expected = {s for s in sigs if (s ^ query).bit_count() <= threshold}
+            found = {leaf.signature for leaf, _ in trie.hamming_leaves(query, threshold)}
+            assert found == expected
+
+    def test_hamming_distances_correct(self):
+        sigs = random_signatures(40, 12, 0.5, seed=40)
+        trie = build(12, sigs)
+        for leaf, dist in trie.hamming_leaves(sigs[0], 4):
+            assert dist == (leaf.signature ^ sigs[0]).bit_count()

@@ -1,0 +1,113 @@
+"""Unit tests for the k-bisimulation encoder (twitter substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.bisimulation import (
+    kbisim_blocks,
+    kbisim_relation,
+    random_power_law_digraph,
+)
+from repro.errors import DataGenError
+
+
+def path_graph(n: int) -> dict[int, list[int]]:
+    """0 -> 1 -> 2 -> ... -> n-1."""
+    return {i: ([i + 1] if i + 1 < n else []) for i in range(n)}
+
+
+class TestKBisimBlocks:
+    def test_depth_zero_one_block(self):
+        blocks = kbisim_blocks(path_graph(5), k=0)
+        assert set(blocks.values()) == {0}
+
+    def test_depth_one_splits_by_out_degree_profile(self):
+        # In a path, after one refinement the sink differs from the rest.
+        blocks = kbisim_blocks(path_graph(4), k=1)
+        assert blocks[3] != blocks[0]
+        assert blocks[0] == blocks[1] == blocks[2]
+
+    def test_path_fully_refines_at_depth_n(self):
+        """A path of n nodes needs n-1 refinements to split completely."""
+        n = 6
+        blocks = kbisim_blocks(path_graph(n), k=n)
+        assert len(set(blocks.values())) == n
+
+    def test_symmetric_nodes_stay_together(self):
+        # Two disjoint identical triangles: all nodes bisimilar forever.
+        graph = {0: [1], 1: [2], 2: [0], 3: [4], 4: [5], 5: [3]}
+        blocks = kbisim_blocks(graph, k=10)
+        assert len(set(blocks.values())) == 1
+
+    def test_fixpoint_early_exit(self):
+        # A cycle stabilises immediately; deep k must still be correct.
+        graph = {0: [1], 1: [0]}
+        assert kbisim_blocks(graph, k=100) == kbisim_blocks(graph, k=2)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(DataGenError):
+            kbisim_blocks(path_graph(3), k=-1)
+
+    def test_dangling_successor_rejected(self):
+        with pytest.raises(DataGenError):
+            kbisim_blocks({0: [99]}, k=1)
+
+
+class TestKBisimRelation:
+    def test_one_tuple_per_block(self):
+        graph = path_graph(5)
+        relation, _ = kbisim_relation(graph, k=5)
+        blocks = kbisim_blocks(graph, k=5)
+        assert len(relation) == len(set(blocks.values()))
+
+    def test_universe_decodes_features(self):
+        relation, universe = kbisim_relation(path_graph(4), k=2)
+        for rec in relation:
+            for feature in rec.elements:
+                level, block = universe.decode(feature)
+                assert 1 <= level <= 2
+                assert block >= 0
+
+    def test_deeper_k_gives_richer_sets(self):
+        graph = random_power_law_digraph(80, avg_out_degree=4, seed=30)
+        shallow, _ = kbisim_relation(graph, k=1)
+        deep, _ = kbisim_relation(graph, k=4)
+        shallow_avg = sum(r.cardinality for r in shallow) / len(shallow)
+        deep_avg = sum(r.cardinality for r in deep) / len(deep)
+        assert deep_avg > shallow_avg
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(DataGenError):
+            kbisim_relation({0: []}, k=-2)
+
+
+class TestRandomGraph:
+    def test_shape(self):
+        graph = random_power_law_digraph(100, avg_out_degree=5, seed=31)
+        assert len(graph) == 100
+        assert all(0 <= t < 100 for targets in graph.values() for t in targets)
+
+    def test_no_self_loops(self):
+        graph = random_power_law_digraph(50, avg_out_degree=6, seed=32)
+        assert all(v not in targets for v, targets in graph.items())
+
+    def test_deterministic(self):
+        a = random_power_law_digraph(40, 3, seed=33)
+        b = random_power_law_digraph(40, 3, seed=33)
+        assert a == b
+
+    def test_skewed_in_degree(self):
+        graph = random_power_law_digraph(200, avg_out_degree=6, seed=34)
+        in_deg = [0] * 200
+        for targets in graph.values():
+            for t in targets:
+                in_deg[t] += 1
+        # Zipf targeting: low node ids should attract far more edges.
+        assert max(in_deg[:5]) > 5 * (sum(in_deg) / len(in_deg))
+
+    def test_invalid_params(self):
+        with pytest.raises(DataGenError):
+            random_power_law_digraph(0, 3)
+        with pytest.raises(DataGenError):
+            random_power_law_digraph(10, 0)

@@ -1,0 +1,130 @@
+"""Unit tests for signature bit algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.signatures.bitmap import (
+    bit_segment,
+    bits_to_sig,
+    full_mask,
+    get_bit,
+    hamming,
+    is_subset_sig,
+    is_superset_sig,
+    popcount,
+    set_bit,
+    sig_to_bits,
+    validate_signature,
+)
+
+
+class TestContainment:
+    def test_subset_basic(self):
+        assert is_subset_sig(0b0101, 0b0111)
+        assert not is_subset_sig(0b0101, 0b0011)
+
+    def test_zero_is_subset_of_everything(self):
+        assert is_subset_sig(0, 0)
+        assert is_subset_sig(0, 0b1111)
+
+    def test_subset_is_reflexive(self):
+        assert is_subset_sig(0b1010, 0b1010)
+
+    def test_superset_alias(self):
+        assert is_superset_sig(0b0111, 0b0101)
+        assert not is_superset_sig(0b0101, 0b0111)
+
+    def test_paper_table1_signatures(self):
+        """Table I: u1=0111 covers p1=0101 and p2=0110 but not p3=1011."""
+        u1 = bits_to_sig("0111")
+        assert is_subset_sig(bits_to_sig("0101"), u1)
+        assert is_subset_sig(bits_to_sig("0110"), u1)
+        assert not is_subset_sig(bits_to_sig("1011"), u1)
+
+
+class TestCounting:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 1000) | 1) == 2
+
+    def test_hamming(self):
+        assert hamming(0b1010, 0b1010) == 0
+        assert hamming(0b1010, 0b0101) == 4
+        assert hamming(0b1100, 0b1000) == 1
+
+
+class TestBitAccess:
+    def test_get_bit_msb_first(self):
+        # signature '1000' of width 4: logical position 0 is the MSB.
+        sig = bits_to_sig("1000")
+        assert get_bit(sig, 0, 4) == 1
+        assert get_bit(sig, 3, 4) == 0
+
+    def test_set_bit_roundtrip(self):
+        sig = 0
+        sig = set_bit(sig, 0, 4)
+        sig = set_bit(sig, 3, 4)
+        assert sig_to_bits(sig, 4) == "1001"
+
+    def test_set_bit_out_of_range(self):
+        with pytest.raises(SignatureError):
+            set_bit(0, 4, 4)
+        with pytest.raises(SignatureError):
+            set_bit(0, -1, 4)
+
+    def test_bit_segment_interior(self):
+        sig = bits_to_sig("011010")
+        assert bit_segment(sig, 1, 4, 6) == 0b110
+
+    def test_bit_segment_full_width(self):
+        sig = bits_to_sig("1011")
+        assert bit_segment(sig, 0, 4, 4) == sig
+
+    def test_bit_segment_empty(self):
+        assert bit_segment(0b1011, 2, 2, 4) == 0
+
+    def test_bit_segment_bounds_checked(self):
+        with pytest.raises(SignatureError):
+            bit_segment(0, 3, 2, 4)
+        with pytest.raises(SignatureError):
+            bit_segment(0, 0, 5, 4)
+
+
+class TestValidation:
+    def test_validate_accepts_fitting(self):
+        validate_signature(0b1111, 4)
+
+    def test_validate_rejects_overflow(self):
+        with pytest.raises(SignatureError):
+            validate_signature(0b10000, 4)
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(SignatureError):
+            validate_signature(-1, 4)
+
+    def test_validate_rejects_zero_width(self):
+        with pytest.raises(SignatureError):
+            validate_signature(0, 0)
+
+    def test_full_mask(self):
+        assert full_mask(4) == 0b1111
+        with pytest.raises(SignatureError):
+            full_mask(0)
+
+
+class TestTextConversion:
+    def test_sig_to_bits_pads(self):
+        assert sig_to_bits(0b101, 6) == "000101"
+
+    def test_bits_to_sig_rejects_garbage(self):
+        with pytest.raises(SignatureError):
+            bits_to_sig("10x1")
+        with pytest.raises(SignatureError):
+            bits_to_sig("")
+
+    def test_roundtrip(self):
+        for text in ("0", "1", "0101", "11110000"):
+            assert sig_to_bits(bits_to_sig(text), len(text)) == text

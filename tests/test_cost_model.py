@@ -1,0 +1,110 @@
+"""Unit tests for the Sec. III-C analytical cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.signatures.cost_model import (
+    estimate_ptsj_cost,
+    expected_candidates,
+    expected_candidates_uniform_cardinality,
+    expected_trie_height,
+    expected_visited_nodes,
+    query_cost_upper_bound,
+)
+
+
+class TestExpectedCandidates:
+    def test_formula_matches_hand_computation(self):
+        # N = |S| * (c_q / b)^c_d = 1000 * (8/64)^4
+        assert expected_candidates(1000, 4, 8, 64) == pytest.approx(1000 * (8 / 64) ** 4)
+
+    def test_shrinks_with_signature_length(self):
+        values = [expected_candidates(10_000, 8, 8, b) for b in (64, 128, 256, 512)]
+        assert values == sorted(values, reverse=True)
+
+    def test_grows_with_query_cardinality(self):
+        """Higher-cardinality queries have more results (paper Sec. III-C1)."""
+        values = [expected_candidates(10_000, 8, cq, 256) for cq in (4, 8, 16, 32)]
+        assert values == sorted(values)
+
+    def test_shrinks_with_data_cardinality(self):
+        """Low-cardinality data tend to produce more results."""
+        values = [expected_candidates(10_000, cd, 8, 256) for cd in (2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_probability_capped_at_one(self):
+        assert expected_candidates(100, 3, 1000, 8) == 100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SignatureError):
+            expected_candidates(0, 4, 8, 64)
+        with pytest.raises(SignatureError):
+            expected_candidates(100, 4, 8, 0)
+
+    def test_uniform_cardinality_refinement_is_larger(self):
+        """Averaging over c_d in [1, cd] includes easier (smaller) sets, so
+        the estimate exceeds the fixed-cardinality one at cd."""
+        fixed = expected_candidates(1000, 8, 8, 128)
+        uniform = expected_candidates_uniform_cardinality(1000, 8, 8, 128)
+        assert uniform > fixed
+
+    def test_uniform_cardinality_saturated(self):
+        assert expected_candidates_uniform_cardinality(100, 4, 999, 8) == 100
+
+
+class TestVisitedNodes:
+    def test_grows_with_relation_size(self):
+        values = [expected_visited_nodes(s, 16, 256) for s in (2 ** 10, 2 ** 14, 2 ** 18)]
+        assert values == sorted(values)
+
+    def test_grows_with_cardinality(self):
+        values = [expected_visited_nodes(2 ** 14, c, 1024) for c in (8, 16, 32, 64)]
+        assert values == sorted(values)
+
+    def test_shrinks_with_signature_length(self):
+        values = [expected_visited_nodes(2 ** 14, 16, b) for b in (64, 256, 1024)]
+        assert values == sorted(values, reverse=True)
+
+    def test_trie_height_is_log(self):
+        assert expected_trie_height(2 ** 10) == pytest.approx(11.0)
+
+
+class TestQueryCost:
+    def test_scales_linearly_in_r(self):
+        one = query_cost_upper_bound(1000, 2 ** 12, 16, 256)
+        two = query_cost_upper_bound(2000, 2 ** 12, 16, 256)
+        assert two == pytest.approx(2 * one)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SignatureError):
+            query_cost_upper_bound(0, 100, 16, 256)
+
+
+class TestFullEstimate:
+    def test_components_positive(self):
+        est = estimate_ptsj_cost(2 ** 12, 2 ** 12, 16, 256)
+        assert est.create_cost > 0
+        assert est.query_cost > 0
+        assert est.compare_cost >= 0
+        assert est.total == pytest.approx(
+            est.create_cost + est.query_cost + est.compare_cost
+        )
+
+    def test_interior_minimum_in_b(self):
+        """The total cost has a sweet spot in b (the Sec. III-D argument):
+        too-short signatures blow up set comparisons, too-long ones blow up
+        signature comparisons."""
+        lengths = [32, 64, 128, 256, 512, 1024, 4096, 16384]
+        totals = [estimate_ptsj_cost(2 ** 14, 2 ** 14, 16, b).total for b in lengths]
+        best = totals.index(min(totals))
+        assert 0 < best < len(lengths) - 1
+
+    def test_sweet_spot_near_16c(self):
+        """The model's optimum should land within the paper's 8c..64c band."""
+        c = 16
+        lengths = [c * ratio for ratio in (1, 2, 4, 8, 16, 32, 64, 128, 256)]
+        totals = [estimate_ptsj_cost(2 ** 14, 2 ** 14, c, b).total for b in lengths]
+        best_ratio = lengths[totals.index(min(totals))] // c
+        assert 8 <= best_ratio <= 64

@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AlgorithmError,
+    DataGenError,
+    ExternalMemoryError,
+    RelationError,
+    ReproError,
+    SignatureError,
+    TrieError,
+)
+
+ALL_ERRORS = [
+    RelationError,
+    SignatureError,
+    TrieError,
+    DataGenError,
+    ExternalMemoryError,
+    AlgorithmError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_catching_base_catches_all():
+    for exc in ALL_ERRORS:
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+def test_library_raises_only_repro_errors_at_api_boundary():
+    """A representative misuse of each subsystem yields a ReproError."""
+    from repro.core.registry import make_algorithm
+    from repro.datagen.synthetic import SyntheticConfig
+    from repro.relations.relation import SetRecord
+    from repro.signatures.bitmap import validate_signature
+    from repro.tries.patricia import PatriciaTrie
+
+    with pytest.raises(ReproError):
+        SetRecord(0, frozenset({-5}))
+    with pytest.raises(ReproError):
+        validate_signature(-1, 8)
+    with pytest.raises(ReproError):
+        PatriciaTrie(0)
+    with pytest.raises(ReproError):
+        SyntheticConfig(size=1, avg_cardinality=0, domain=1)
+    with pytest.raises(ReproError):
+        make_algorithm("does-not-exist")

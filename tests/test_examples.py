@@ -1,0 +1,34 @@
+"""Smoke tests: every example script must run end to end.
+
+Each example carries its own internal assertions (expected Table I output,
+oracle cross-checks, validator reports), so a clean exit is a meaningful
+check, not just an import test.  Scripts run in-process via ``runpy`` with
+stdout captured.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLE_SCRIPTS) >= 3, "the deliverable requires >= 3 examples"
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=[s.stem for s in EXAMPLE_SCRIPTS])
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_prints_table1_result(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "matches the paper's Table I result" in out

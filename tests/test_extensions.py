@@ -1,0 +1,264 @@
+"""Unit tests for the Sec. III-E extension joins and the reusable index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.extensions.equality import equality_join, equality_join_on_index
+from repro.extensions.set_index import PatriciaSetIndex
+from repro.extensions.similarity import similarity_join, similarity_join_on_index
+from repro.extensions.superset import superset_join, superset_join_on_index
+from repro.relations.relation import Relation
+from tests.conftest import random_relation
+
+
+def superset_oracle(r, s):
+    return {(rr.rid, ss.rid) for rr in r for ss in s if rr.elements <= ss.elements}
+
+
+def equality_oracle(r, s):
+    return {(rr.rid, ss.rid) for rr in r for ss in s if rr.elements == ss.elements}
+
+
+def similarity_oracle(r, s, k):
+    return {(rr.rid, ss.rid) for rr in r for ss in s
+            if len(rr.elements ^ ss.elements) <= k}
+
+
+class TestSupersetJoin:
+    def test_matches_oracle(self):
+        r = random_relation(70, 5, 40, seed=300)
+        s = random_relation(70, 9, 40, seed=301)
+        assert superset_join(r, s).pair_set() == superset_oracle(r, s)
+
+    def test_empty_query_set_matches_all(self):
+        r = Relation.from_sets([set()])
+        s = Relation.from_sets([{1}, set(), {2, 3}])
+        assert superset_join(r, s).pair_set() == {(0, 0), (0, 1), (0, 2)}
+
+    def test_is_transpose_of_containment(self):
+        from repro.core.ptsj import PTSJ
+
+        r = random_relation(50, 6, 30, seed=302)
+        s = random_relation(50, 6, 30, seed=303)
+        sup = superset_join(r, s).pair_set()
+        cont = PTSJ().join(s, r).pair_set()  # S >= R
+        assert sup == {(b, a) for a, b in cont}
+
+    def test_explicit_bits(self):
+        r = random_relation(30, 5, 20, seed=304)
+        s = random_relation(30, 5, 20, seed=305)
+        result = superset_join(r, s, bits=64)
+        assert result.stats.signature_bits == 64
+        assert result.pair_set() == superset_oracle(r, s)
+
+
+class TestEqualityJoin:
+    def test_matches_oracle(self):
+        r = random_relation(80, 4, 10, seed=306)   # small domain -> collisions
+        s = random_relation(80, 4, 10, seed=307)
+        assert equality_join(r, s).pair_set() == equality_oracle(r, s)
+
+    def test_duplicates_grouped(self):
+        r = Relation.from_sets([{1, 2}])
+        s = Relation.from_sets([{1, 2}, {1, 2}, {3}])
+        assert equality_join(r, s).pair_set() == {(0, 0), (0, 1)}
+
+    def test_empty_sets_equal(self):
+        r = Relation.from_sets([set()])
+        s = Relation.from_sets([set(), {1}])
+        assert equality_join(r, s).pair_set() == {(0, 0)}
+
+    def test_signature_collision_not_confused(self):
+        """Different sets with identical signatures (like u2/u3 in Table I)
+        must not be reported as equal."""
+        r = Relation.from_sets([{0, 2, 7}])          # {a, c, h}
+        s = Relation.from_sets([{0, 2, 3}])          # {a, c, d}: same 4-bit sig
+        assert equality_join(r, s, bits=4).pair_set() == set()
+
+
+class TestSimilarityJoin:
+    @pytest.mark.parametrize("k", [0, 1, 3])
+    def test_matches_oracle(self, k):
+        r = random_relation(50, 6, 25, seed=308)
+        s = random_relation(50, 6, 25, seed=309)
+        assert similarity_join(r, s, k).pair_set() == similarity_oracle(r, s, k)
+
+    def test_threshold_zero_is_equality(self):
+        r = random_relation(60, 4, 12, seed=310)
+        s = random_relation(60, 4, 12, seed=311)
+        assert similarity_join(r, s, 0).pair_set() == equality_oracle(r, s)
+
+    def test_negative_threshold_rejected(self):
+        r = Relation.from_sets([{1}])
+        with pytest.raises(AlgorithmError):
+            similarity_join(r, r, -1)
+
+    def test_monotone_in_threshold(self):
+        r = random_relation(40, 5, 20, seed=312)
+        s = random_relation(40, 5, 20, seed=313)
+        previous: set = set()
+        for k in (0, 1, 2, 4):
+            current = similarity_join(r, s, k).pair_set()
+            assert previous <= current
+            previous = current
+
+
+class TestIndexReuse:
+    """The paper's OLAP argument: one index, many query types."""
+
+    def test_one_index_serves_all_joins(self):
+        r = random_relation(60, 6, 30, seed=314)
+        s = random_relation(60, 6, 30, seed=315)
+        index = PatriciaSetIndex(s)
+        assert superset_join_on_index(r, index).pair_set() == superset_oracle(r, s)
+        assert equality_join_on_index(r, index).pair_set() == equality_oracle(r, s)
+        assert similarity_join_on_index(r, index, 2).pair_set() == similarity_oracle(r, s, 2)
+
+    def test_index_over_empty_relation_needs_bits(self):
+        with pytest.raises(AlgorithmError):
+            PatriciaSetIndex(Relation([]))
+
+    def test_index_over_empty_relation_with_bits(self):
+        index = PatriciaSetIndex(Relation([]), bits=16)
+        assert list(index.subsets_of(frozenset({1}))) == []
+
+    def test_subsets_probe(self):
+        s = Relation.from_sets([{1}, {1, 2}, {3}])
+        index = PatriciaSetIndex(s)
+        found = {id_ for g in index.subsets_of(frozenset({1, 2})) for id_ in g.ids}
+        assert found == {0, 1}
+
+    def test_within_hamming_reports_set_distance(self):
+        s = Relation.from_sets([{1, 2}, {1, 2, 3, 4}])
+        index = PatriciaSetIndex(s)
+        results = dict()
+        for group, dist in index.within_hamming(frozenset({1, 2, 3}), 2):
+            results[group.ids[0]] = dist
+        assert results == {0: 1, 1: 1}
+
+    def test_bits_property(self):
+        index = PatriciaSetIndex(Relation.from_sets([{1}]), bits=40)
+        assert index.bits == 40
+        assert len(index) == 1
+
+
+class TestDynamicIndexMaintenance:
+    """Sec. III-E index reuse implies a maintainable index: add/discard."""
+
+    def test_add_then_query(self):
+        s = Relation.from_sets([{1, 2}])
+        index = PatriciaSetIndex(s)
+        index.add(99, frozenset({1}))
+        found = {id_ for g in index.subsets_of(frozenset({1, 2})) for id_ in g.ids}
+        assert found == {0, 99}
+        assert len(index) == 2
+
+    def test_add_duplicate_set_merges(self):
+        s = Relation.from_sets([{1, 2}])
+        index = PatriciaSetIndex(s)
+        index.add(5, frozenset({1, 2}))
+        groups = list(index.equal_to(frozenset({1, 2})))
+        assert len(groups) == 1
+        assert sorted(groups[0].ids) == [0, 5]
+
+    def test_discard_removes_tuple(self):
+        s = Relation.from_sets([{1, 2}, {3}])
+        index = PatriciaSetIndex(s)
+        assert index.discard(0, frozenset({1, 2}))
+        assert list(index.equal_to(frozenset({1, 2}))) == []
+        assert len(index) == 1
+        index.trie.check_invariants()
+
+    def test_discard_unknown_returns_false(self):
+        s = Relation.from_sets([{1, 2}])
+        index = PatriciaSetIndex(s)
+        assert not index.discard(9, frozenset({1, 2}))
+        assert not index.discard(0, frozenset({7}))
+        assert len(index) == 1
+
+    def test_discard_one_of_group(self):
+        s = Relation.from_sets([{4, 5}, {4, 5}])
+        index = PatriciaSetIndex(s)
+        assert index.discard(0, frozenset({4, 5}))
+        groups = list(index.equal_to(frozenset({4, 5})))
+        assert groups and groups[0].ids == [1]
+
+    def test_add_discard_roundtrip_preserves_queries(self):
+        rng = __import__("random").Random(910)
+        sets = [frozenset(rng.sample(range(40), rng.randint(1, 6))) for _ in range(60)]
+        index = PatriciaSetIndex(Relation.from_sets(sets[:30]))
+        for i, elements in enumerate(sets[30:], start=30):
+            index.add(i, elements)
+        for i in range(0, 60, 2):
+            assert index.discard(i, sets[i])
+        index.trie.check_invariants()
+        alive = {i: sets[i] for i in range(60) if i % 2 == 1}
+        query = frozenset(range(0, 40, 2))
+        found = {id_ for g in index.subsets_of(query) for id_ in g.ids}
+        expected = {i for i, s in alive.items() if s <= query}
+        assert found == expected
+
+
+class TestJaccardJoin:
+    def jaccard_oracle(self, r, s, t):
+        out = set()
+        for rr in r:
+            for ss in s:
+                union = len(rr.elements | ss.elements)
+                j = (len(rr.elements & ss.elements) / union) if union else 1.0
+                if j >= t:
+                    out.add((rr.rid, ss.rid))
+        return out
+
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 0.8, 1.0])
+    def test_matches_oracle(self, threshold):
+        from repro.extensions.similarity import jaccard_join
+
+        r = random_relation(50, 8, 25, seed=316)
+        s = random_relation(50, 8, 25, seed=317)
+        got = jaccard_join(r, s, threshold).pair_set()
+        assert got == self.jaccard_oracle(r, s, threshold)
+
+    def test_threshold_one_is_equality(self):
+        from repro.extensions.similarity import jaccard_join
+
+        r = random_relation(60, 4, 10, seed=318)
+        s = random_relation(60, 4, 10, seed=319)
+        got = jaccard_join(r, s, 1.0).pair_set()
+        assert got == equality_oracle(r, s)
+
+    def test_empty_sets_similar_only_to_empty(self):
+        from repro.extensions.similarity import jaccard_join
+
+        r = Relation.from_sets([set(), {1}])
+        s = Relation.from_sets([set(), {2}])
+        assert jaccard_join(r, s, 0.5).pair_set() == {(0, 0)}
+
+    def test_invalid_threshold(self):
+        from repro.extensions.similarity import jaccard_join
+
+        r = Relation.from_sets([{1}])
+        with pytest.raises(AlgorithmError):
+            jaccard_join(r, r, 0.0)
+        with pytest.raises(AlgorithmError):
+            jaccard_join(r, r, 1.5)
+
+    def test_monotone_in_threshold(self):
+        from repro.extensions.similarity import jaccard_join
+
+        r = random_relation(40, 6, 20, seed=320)
+        s = random_relation(40, 6, 20, seed=321)
+        loose = jaccard_join(r, s, 0.3).pair_set()
+        tight = jaccard_join(r, s, 0.8).pair_set()
+        assert tight <= loose
+
+    def test_reuses_index(self):
+        from repro.extensions.similarity import jaccard_join_on_index
+
+        s = random_relation(40, 6, 20, seed=322)
+        r = random_relation(40, 6, 20, seed=323)
+        index = PatriciaSetIndex(s)
+        got = jaccard_join_on_index(r, index, 0.6).pair_set()
+        assert got == self.jaccard_oracle(r, s, 0.6)

@@ -1,0 +1,51 @@
+"""Unit tests for the benchmark figure recorder (render paths)."""
+
+from __future__ import annotations
+
+import benchmarks.figrecorder as figrecorder
+
+
+class TestRecorder:
+    def setup_method(self):
+        figrecorder.RESULTS.clear()
+        figrecorder.UNITS.clear()
+
+    def teardown_method(self):
+        figrecorder.RESULTS.clear()
+        figrecorder.UNITS.clear()
+
+    def test_record_accumulates(self):
+        figrecorder.record("figX", "a", "alg1", 1.0)
+        figrecorder.record("figX", "a", "alg2", 2.0)
+        figrecorder.record("figX", "b", "alg1", 3.0)
+        assert figrecorder.RESULTS["figX"]["a"]["alg2"] == 2.0
+        assert list(figrecorder.RESULTS["figX"]) == ["a", "b"]
+
+    def test_non_seconds_unit_sticks(self):
+        figrecorder.record("figY", "a", "alg", 10.0)
+        figrecorder.record("figY", "a", "alg2", 20.0, unit="bytes")
+        assert figrecorder.UNITS["figY"] == "bytes"
+
+    def test_render_seconds_figure(self):
+        figrecorder.record("figZ", "x1", "fast", 0.001)
+        figrecorder.record("figZ", "x1", "slow", 1.5)
+        blocks = figrecorder.render_figures()
+        assert len(blocks) == 1
+        assert "1.0ms" in blocks[0] and "1.50s" in blocks[0]
+
+    def test_render_ratio_figure(self):
+        figrecorder.record("fig8ish", "ds", "a", 2.0, unit="ratio")
+        figrecorder.record("fig8ish", "ds", "b", 1.0, unit="ratio")
+        (block,) = figrecorder.render_figures()
+        assert "2.0x" in block and "1.0x" in block
+
+    def test_render_missing_point_as_dash(self):
+        figrecorder.record("figW", "x1", "a", 1.0)
+        figrecorder.record("figW", "x2", "b", 2.0)
+        (block,) = figrecorder.render_figures()
+        assert "-" in block
+
+    def test_render_plain_unit(self):
+        figrecorder.record("figV", "x", "stat", 3.14159, unit="plain")
+        (block,) = figrecorder.render_figures()
+        assert "3.14" in block

@@ -1,0 +1,103 @@
+"""Unit tests for relation text I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RelationError
+from repro.relations.io import (
+    read_join_result,
+    read_relation,
+    read_relation_with_ids,
+    write_join_result,
+    write_relation,
+    write_relation_with_ids,
+)
+from repro.relations.relation import Relation, SetRecord
+
+
+class TestSetPerLine:
+    def test_roundtrip(self, tmp_path):
+        rel = Relation.from_sets([{3, 1}, {2}, {9, 4, 7}])
+        path = tmp_path / "rel.txt"
+        write_relation(rel, path)
+        back = read_relation(path)
+        assert back == rel
+
+    def test_empty_sets_roundtrip(self, tmp_path):
+        rel = Relation.from_sets([set(), {1}, set()])
+        path = tmp_path / "rel.txt"
+        write_relation(rel, path)
+        assert read_relation(path) == rel
+
+    def test_elements_written_sorted(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        write_relation(Relation.from_sets([{9, 1, 5}]), path)
+        assert path.read_text().strip() == "1 5 9"
+
+    def test_read_assigns_line_number_ids(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("1 2\n3\n")
+        rel = read_relation(path)
+        assert rel.ids() == (0, 1)
+
+    def test_read_non_integer_raises(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("1 x 2\n")
+        with pytest.raises(RelationError):
+            read_relation(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mydata.txt"
+        write_relation(Relation.from_sets([{1}]), path)
+        assert read_relation(path).name == "mydata"
+
+
+class TestIdPrefixed:
+    def test_roundtrip_preserves_sparse_ids(self, tmp_path):
+        rel = Relation([SetRecord(10, frozenset({1})), SetRecord(3, frozenset({2, 5}))])
+        path = tmp_path / "rel.txt"
+        write_relation_with_ids(rel, path)
+        back = read_relation_with_ids(path)
+        assert back == rel
+
+    def test_missing_colon_raises(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(RelationError):
+            read_relation_with_ids(path)
+
+    def test_non_integer_id_raises(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("x: 1 2\n")
+        with pytest.raises(RelationError):
+            read_relation_with_ids(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("1: 2\n\n2: 3\n")
+        assert len(read_relation_with_ids(path)) == 2
+
+    def test_empty_set_record(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        rel = Relation([SetRecord(5, frozenset())])
+        write_relation_with_ids(rel, path)
+        assert read_relation_with_ids(path).get(5).elements == frozenset()
+
+
+class TestJoinResultIO:
+    def test_roundtrip_sorted(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        write_join_result([(3, 1), (1, 2), (1, 1)], path)
+        assert read_join_result(path) == [(1, 1), (1, 2), (3, 1)]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(RelationError):
+            read_join_result(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        write_join_result([], path)
+        assert read_join_result(path) == []

@@ -1,0 +1,41 @@
+"""Unit tests for the nested-loop oracle itself (kept trivially simple)."""
+
+from __future__ import annotations
+
+from repro.baselines.nested_loop import NestedLoopJoin, nested_loop_join_pairs
+from repro.relations.relation import Relation
+from tests.conftest import TABLE1_EXPECTED
+
+
+class TestNestedLoop:
+    def test_table1_example(self, table1_profiles, table1_preferences):
+        result = NestedLoopJoin().join(table1_profiles, table1_preferences)
+        assert result.pair_set() == TABLE1_EXPECTED
+
+    def test_reflexive_pairs_in_self_join(self):
+        rel = Relation.from_sets([{1}, {1, 2}])
+        pairs = set(nested_loop_join_pairs(rel, rel))
+        assert (0, 0) in pairs and (1, 1) in pairs
+        assert (1, 0) in pairs and (0, 1) not in pairs
+
+    def test_empty_inputs(self):
+        empty = Relation([])
+        some = Relation.from_sets([{1}])
+        assert nested_loop_join_pairs(empty, some) == []
+        assert nested_loop_join_pairs(some, empty) == []
+
+    def test_empty_set_semantics(self):
+        r = Relation.from_sets([set()])
+        s = Relation.from_sets([set(), {1}])
+        assert set(nested_loop_join_pairs(r, s)) == {(0, 0)}
+
+    def test_cardinality_shortcut_does_not_change_output(self):
+        r = Relation.from_sets([{1, 2}])
+        s = Relation.from_sets([{1, 2, 3}])  # bigger than r: skipped early
+        assert nested_loop_join_pairs(r, s) == []
+
+    def test_stats_count_all_comparisons(self):
+        r = Relation.from_sets([{1}, {2}])
+        s = Relation.from_sets([{1}, {2}, {3}])
+        stats = NestedLoopJoin().join(r, s).stats
+        assert stats.verifications == 6

@@ -1,0 +1,258 @@
+"""Unit tests for the signature-space Patricia trie (Algorithms 5/6/7)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SignatureError, TrieError
+from repro.signatures.bitmap import bits_to_sig
+from repro.tries.patricia import PatriciaTrie
+
+
+def build(bits: int, signatures: list[int]) -> PatriciaTrie:
+    trie = PatriciaTrie(bits)
+    for i, sig in enumerate(signatures):
+        trie.insert(sig).append(i)
+    return trie
+
+
+def brute_subsets(signatures: list[int], query: int) -> set[int]:
+    return {sig for sig in signatures if sig & ~query == 0}
+
+
+def brute_supersets(signatures: list[int], query: int) -> set[int]:
+    return {sig for sig in signatures if query & ~sig == 0}
+
+
+def random_signatures(count: int, bits: int, density: float, seed: int) -> list[int]:
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        sig = 0
+        for pos in range(bits):
+            if rng.random() < density:
+                sig |= 1 << pos
+        out.append(sig)
+    return out
+
+
+class TestConstruction:
+    def test_invalid_width(self):
+        with pytest.raises(TrieError):
+            PatriciaTrie(0)
+
+    def test_empty_trie(self):
+        trie = PatriciaTrie(8)
+        assert len(trie) == 0
+        assert trie.node_count() == 0
+        assert trie.subset_leaves(0xFF) == []
+        assert trie.superset_leaves(0) == []
+        assert trie.equal_leaf(0) is None
+
+    def test_single_insert(self):
+        trie = PatriciaTrie(8)
+        items = trie.insert(0b10100000)
+        items.append("payload")
+        assert len(trie) == 1
+        assert trie.node_count() == 1
+
+    def test_duplicate_signature_shares_leaf(self):
+        trie = PatriciaTrie(8)
+        a = trie.insert(0b1)
+        b = trie.insert(0b1)
+        assert a is b
+        assert len(trie) == 1
+
+    def test_signature_too_wide_rejected(self):
+        trie = PatriciaTrie(4)
+        with pytest.raises(SignatureError):
+            trie.insert(0b10000)
+
+    def test_paper_figure3_structure(self):
+        """Fig. 3: inserting 0101, 0110, 1011 yields 5 nodes (2 internal)."""
+        sigs = [bits_to_sig(s) for s in ("0101", "0110", "1011")]
+        trie = build(4, sigs)
+        assert len(trie) == 3
+        # 3 leaves + split at position 0 + split at position 2 = 5 nodes
+        assert trie.node_count() == 5
+        trie.check_invariants()
+
+    def test_node_count_bounded_by_2k_minus_1(self):
+        sigs = random_signatures(200, 64, 0.3, seed=1)
+        trie = build(64, sigs)
+        assert trie.node_count() <= 2 * len(trie) - 1
+
+    def test_all_ones_and_zero(self):
+        trie = PatriciaTrie(16)
+        trie.insert(0).append("zero")
+        trie.insert((1 << 16) - 1).append("ones")
+        trie.check_invariants()
+        assert len(trie) == 2
+
+    def test_invariants_on_random_inserts(self):
+        sigs = random_signatures(300, 48, 0.4, seed=2)
+        trie = build(48, sigs)
+        trie.check_invariants()
+        assert len(trie) == len(set(sigs))
+
+    def test_leaves_iterate_all_signatures(self):
+        sigs = random_signatures(100, 32, 0.5, seed=3)
+        trie = build(32, sigs)
+        assert {leaf.signature for leaf in trie.leaves()} == set(sigs)
+
+    def test_height_bounded_by_bits_plus_one(self):
+        sigs = random_signatures(100, 24, 0.5, seed=4)
+        trie = build(24, sigs)
+        assert trie.height() <= 24 + 1
+
+
+class TestSubsetEnumeration:
+    def test_paper_example_query(self):
+        """Querying u1 = 0111 on Fig. 3 returns p1 (0101) and p2 (0110)."""
+        sigs = {"p1": bits_to_sig("0101"), "p2": bits_to_sig("0110"),
+                "p3": bits_to_sig("1011")}
+        trie = PatriciaTrie(4)
+        for name, sig in sigs.items():
+            trie.insert(sig).append(name)
+        found = {item for leaf in trie.subset_leaves(bits_to_sig("0111"))
+                 for item in leaf.items}
+        assert found == {"p1", "p2"}
+
+    def test_paper_visit_count(self):
+        """Sec. III-B: the Fig. 3 query traverses 3 content nodes (vs 6 in
+        the plain trie).  This implementation materialises the branch point
+        at position 0 as an (empty-prefix) root node and counts it too,
+        hence 4 = the paper's 3 + the synthetic root."""
+        sigs = [bits_to_sig(s) for s in ("0101", "0110", "1011")]
+        trie = build(4, sigs)
+        trie.subset_leaves(bits_to_sig("0111"))
+        assert trie.visits_last_query == 4
+
+    @pytest.mark.parametrize("density", [0.1, 0.3, 0.6])
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_matches_brute_force(self, density, seed):
+        bits = 40
+        sigs = random_signatures(150, bits, density, seed=seed)
+        trie = build(bits, sigs)
+        queries = random_signatures(50, bits, density, seed=seed + 100)
+        for query in queries:
+            found = {leaf.signature for leaf in trie.subset_leaves(query)}
+            assert found == brute_subsets(sigs, query)
+
+    def test_all_ones_query_returns_everything(self):
+        sigs = random_signatures(80, 24, 0.4, seed=7)
+        trie = build(24, sigs)
+        found = {leaf.signature for leaf in trie.subset_leaves((1 << 24) - 1)}
+        assert found == set(sigs)
+
+    def test_zero_query_returns_only_zero(self):
+        sigs = random_signatures(80, 24, 0.4, seed=8) + [0]
+        trie = build(24, sigs)
+        found = {leaf.signature for leaf in trie.subset_leaves(0)}
+        assert found == {0}
+
+    def test_visits_bounded_by_node_count(self):
+        sigs = random_signatures(100, 32, 0.5, seed=9)
+        trie = build(32, sigs)
+        trie.subset_leaves((1 << 32) - 1)
+        assert trie.visits_last_query <= trie.node_count()
+
+
+class TestSupersetEnumeration:
+    @pytest.mark.parametrize("density", [0.2, 0.5])
+    def test_matches_brute_force(self, density):
+        bits = 36
+        sigs = random_signatures(120, bits, density, seed=10)
+        trie = build(bits, sigs)
+        for query in random_signatures(40, bits, density / 2, seed=11):
+            found = {leaf.signature for leaf in trie.superset_leaves(query)}
+            assert found == brute_supersets(sigs, query)
+
+    def test_zero_query_returns_everything(self):
+        sigs = random_signatures(50, 16, 0.4, seed=12)
+        trie = build(16, sigs)
+        found = {leaf.signature for leaf in trie.superset_leaves(0)}
+        assert found == set(sigs)
+
+    def test_duality_with_subset(self):
+        """sig in supersets(q) iff q in subsets(sig)."""
+        bits = 20
+        sigs = random_signatures(60, bits, 0.4, seed=13)
+        trie = build(bits, sigs)
+        query = sigs[0]
+        sups = {leaf.signature for leaf in trie.superset_leaves(query)}
+        for sig in set(sigs):
+            assert (sig in sups) == (query & ~sig == 0)
+
+
+class TestEqualLookup:
+    def test_finds_exact(self):
+        sigs = random_signatures(100, 32, 0.5, seed=14)
+        trie = build(32, sigs)
+        for sig in sigs[:20]:
+            leaf = trie.equal_leaf(sig)
+            assert leaf is not None and leaf.signature == sig
+
+    def test_misses_absent(self):
+        sigs = [s | 1 for s in random_signatures(50, 32, 0.5, seed=15)]
+        trie = build(32, sigs)
+        absent = [s & ~1 for s in sigs if s & ~1 not in set(sigs)]
+        for sig in absent[:10]:
+            assert trie.equal_leaf(sig) is None
+
+
+class TestHammingEnumeration:
+    def test_negative_threshold_rejected(self):
+        trie = build(8, [0b1])
+        with pytest.raises(TrieError):
+            trie.hamming_leaves(0, -1)
+
+    def test_zero_threshold_is_equality(self):
+        sigs = random_signatures(60, 24, 0.4, seed=16)
+        trie = build(24, sigs)
+        for query in sigs[:10]:
+            found = {leaf.signature for leaf, _ in trie.hamming_leaves(query, 0)}
+            assert found == {query}
+
+    @pytest.mark.parametrize("threshold", [1, 3, 6])
+    def test_matches_brute_force(self, threshold):
+        bits = 24
+        sigs = random_signatures(120, bits, 0.5, seed=17)
+        trie = build(bits, sigs)
+        for query in random_signatures(25, bits, 0.5, seed=18):
+            expected = {s for s in sigs if (s ^ query).bit_count() <= threshold}
+            found = {leaf.signature for leaf, _ in trie.hamming_leaves(query, threshold)}
+            assert found == expected
+
+    def test_distances_reported_correctly(self):
+        sigs = random_signatures(60, 20, 0.5, seed=19)
+        trie = build(20, sigs)
+        query = sigs[0]
+        for leaf, dist in trie.hamming_leaves(query, 5):
+            assert dist == (leaf.signature ^ query).bit_count()
+
+    def test_wide_threshold_returns_everything(self):
+        sigs = random_signatures(40, 16, 0.5, seed=20)
+        trie = build(16, sigs)
+        found = {leaf.signature for leaf, _ in trie.hamming_leaves(0, 16)}
+        assert found == set(sigs)
+
+
+class TestLargeSignatures:
+    def test_thousands_of_bits(self):
+        """Sec. III-D: PTSJ signatures can reach thousands of bits."""
+        bits = 4096
+        rng = random.Random(21)
+        sigs = []
+        for _ in range(50):
+            sig = 0
+            for _ in range(64):
+                sig |= 1 << rng.randrange(bits)
+            sigs.append(sig)
+        trie = build(bits, sigs)
+        trie.check_invariants()
+        query = sigs[0] | sigs[1]
+        found = {leaf.signature for leaf in trie.subset_leaves(query)}
+        assert found == brute_subsets(sigs, query)

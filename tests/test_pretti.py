@@ -1,0 +1,64 @@
+"""Unit tests for the PRETTI baseline (Algorithm 3)."""
+
+from __future__ import annotations
+
+from repro.baselines.pretti import PRETTI
+from repro.relations.relation import Relation
+from tests.conftest import TABLE1_EXPECTED, oracle_pairs, random_relation
+
+
+class TestCorrectness:
+    def test_table1_example(self, table1_profiles, table1_preferences):
+        result = PRETTI().join(table1_profiles, table1_preferences)
+        assert result.pair_set() == TABLE1_EXPECTED
+
+    def test_matches_oracle_random(self, small_pair):
+        r, s = small_pair
+        assert PRETTI().join(r, s).pair_set() == oracle_pairs(r, s)
+
+    def test_self_join(self):
+        rel = random_relation(70, 8, 45, seed=100)
+        assert PRETTI().join(rel, rel).pair_set() == oracle_pairs(rel, rel)
+
+    def test_empty_relations(self):
+        empty = Relation([])
+        other = Relation.from_sets([{1}])
+        assert len(PRETTI().join(empty, other)) == 0
+        assert len(PRETTI().join(other, empty)) == 0
+
+    def test_empty_s_sets_match_everything(self):
+        r = Relation.from_sets([{1}, {2}])
+        s = Relation.from_sets([set(), {9}])
+        assert PRETTI().join(r, s).pair_set() == {(0, 0), (1, 0)}
+
+    def test_prefix_reuse_example(self):
+        """The Sec. II-B walk-through: results from node b flow to node d."""
+        profiles = Relation.from_sets([{1, 3, 5, 6}, {0, 2, 7}, {0, 2, 3}])
+        prefs = Relation.from_sets([{1, 3}, {1, 5, 6}, {0, 2, 7}])
+        assert PRETTI().join(profiles, prefs).pair_set() == TABLE1_EXPECTED
+
+
+class TestStats:
+    def test_no_verifications(self, small_pair):
+        r, s = small_pair
+        stats = PRETTI().join(r, s).stats
+        assert stats.verifications == 0
+
+    def test_intersections_counted(self, small_pair):
+        r, s = small_pair
+        assert PRETTI().join(r, s).stats.intersections > 0
+
+    def test_index_nodes_equals_trie_size(self):
+        s = Relation.from_sets([{1, 2}, {1, 3}])
+        stats = PRETTI().join(Relation.from_sets([{1, 2, 3}]), s).stats
+        # root + 1 + 2 + 3 = 4 nodes
+        assert stats.index_nodes == 4
+
+    def test_node_visits_prune_empty_branches(self):
+        """Branches whose candidate list empties are never visited."""
+        r = Relation.from_sets([{1}])          # only element 1 present in R
+        s = Relation.from_sets([{1}, {2, 3}, {2, 4}, {5, 6, 7}])
+        stats = PRETTI().join(r, s).stats
+        # Only the root and the '1' node are visited; subtrees under
+        # 2 and 5 are pruned at the refine step.
+        assert stats.node_visits == 2

@@ -1,0 +1,94 @@
+"""Unit tests for PRETTI+ (the paper's second contribution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.pretti import PRETTI
+from repro.core.pretti_plus import PRETTIPlus
+from repro.relations.relation import Relation
+from tests.conftest import TABLE1_EXPECTED, oracle_pairs, random_relation
+
+
+class TestCorrectness:
+    def test_table1_example(self, table1_profiles, table1_preferences):
+        result = PRETTIPlus().join(table1_profiles, table1_preferences)
+        assert result.pair_set() == TABLE1_EXPECTED
+
+    def test_matches_oracle_random(self, small_pair):
+        r, s = small_pair
+        assert PRETTIPlus().join(r, s).pair_set() == oracle_pairs(r, s)
+
+    def test_self_join(self):
+        rel = random_relation(80, 8, 50, seed=80)
+        assert PRETTIPlus().join(rel, rel).pair_set() == oracle_pairs(rel, rel)
+
+    def test_empty_relations(self):
+        empty = Relation([])
+        other = Relation.from_sets([{1}])
+        assert len(PRETTIPlus().join(empty, other)) == 0
+        assert len(PRETTIPlus().join(other, empty)) == 0
+
+    def test_empty_sets_in_s_match_all_r(self):
+        r = Relation.from_sets([{1}, {2, 3}, set()])
+        s = Relation.from_sets([set()])
+        result = PRETTIPlus().join(r, s)
+        assert result.pair_set() == {(0, 0), (1, 0), (2, 0)}
+
+    def test_duplicate_sets(self):
+        r = Relation.from_sets([{5, 6, 7}])
+        s = Relation.from_sets([{5, 6}, {5, 6}])
+        assert PRETTIPlus().join(r, s).pair_set() == {(0, 0), (0, 1)}
+
+    def test_matches_pretti_everywhere(self):
+        """PRETTI+ is an optimisation of PRETTI, never a semantic change."""
+        for seed in (81, 82, 83):
+            r = random_relation(70, 9, 45, seed=seed)
+            s = random_relation(70, 7, 45, seed=seed + 10)
+            assert (
+                PRETTIPlus().join(r, s).pair_set()
+                == PRETTI().join(r, s).pair_set()
+            )
+
+
+class TestStatsAndStructure:
+    def test_no_verifications_needed(self, small_pair):
+        """IR-based joins are exact by construction (Sec. IV)."""
+        r, s = small_pair
+        stats = PRETTIPlus().join(r, s).stats
+        assert stats.verifications == 0
+        assert stats.precision == 1.0
+
+    def test_fewer_index_nodes_than_pretti(self):
+        """The Patricia compression (the point of PRETTI+)."""
+        r = random_relation(40, 6, 30, seed=84)
+        s = random_relation(200, 20, 400, seed=85, min_cardinality=10)
+        plus_nodes = PRETTIPlus().join(r, s).stats.index_nodes
+        plain_nodes = PRETTI().join(r, s).stats.index_nodes
+        assert plus_nodes < plain_nodes / 2
+
+    def test_fewer_node_visits_than_pretti(self):
+        r = random_relation(60, 8, 60, seed=86)
+        s = random_relation(150, 15, 300, seed=87, min_cardinality=8)
+        plus = PRETTIPlus().join(r, s).stats
+        plain = PRETTI().join(r, s).stats
+        assert plus.node_visits < plain.node_visits
+
+    def test_intersections_counted(self, small_pair):
+        r, s = small_pair
+        stats = PRETTIPlus().join(r, s).stats
+        assert stats.intersections > 0
+
+    def test_no_signature_machinery(self, small_pair):
+        r, s = small_pair
+        assert PRETTIPlus().join(r, s).stats.signature_bits == 0
+
+    def test_built_trie_accessible(self, small_pair):
+        r, s = small_pair
+        algo = PRETTIPlus()
+        algo.join(r, s)
+        algo.built_trie().check_invariants()
+
+    def test_built_trie_before_join_raises(self):
+        with pytest.raises(RuntimeError):
+            PRETTIPlus().built_trie()

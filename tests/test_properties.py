@@ -1,0 +1,237 @@
+"""Property-based tests (Hypothesis) for core invariants.
+
+These encode the paper's formal guarantees:
+
+* signature soundness: ``A ⊆ B  ⇒  sig(A) ⊑ sig(B)`` (Sec. II-A);
+* Patricia trie enumerations equal brute-force scans (Alg. 5/6/7);
+* Patricia structural invariants survive arbitrary insertion orders;
+* PRETTI+ Algorithm 8 stores exactly the inserted sets;
+* every join algorithm equals the nested-loop oracle on arbitrary inputs;
+* the extension joins' set semantics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.nested_loop import nested_loop_join_pairs
+from repro.core.registry import set_containment_join
+from repro.extensions.equality import equality_join
+from repro.extensions.similarity import similarity_join
+from repro.extensions.superset import superset_join
+from repro.index.inverted import intersect_sorted
+from repro.relations.relation import Relation
+from repro.signatures.bitmap import is_subset_sig
+from repro.signatures.hashing import ModuloScheme, ScrambleScheme
+from repro.tries.patricia import PatriciaTrie
+from repro.tries.set_patricia import SetPatriciaTrie
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+element_sets = st.frozensets(st.integers(min_value=0, max_value=60), max_size=12)
+set_lists = st.lists(element_sets, min_size=0, max_size=25)
+
+BITS = 24
+signatures = st.integers(min_value=0, max_value=(1 << BITS) - 1)
+signature_lists = st.lists(signatures, min_size=0, max_size=40)
+
+
+def relation_of(sets: list[frozenset[int]], start: int = 0) -> Relation:
+    return Relation.from_sets(sets, start_id=start)
+
+
+# ---------------------------------------------------------------------------
+# Signature soundness
+# ---------------------------------------------------------------------------
+
+
+class TestSignatureSoundness:
+    @given(small=element_sets, extra=element_sets, bits=st.integers(4, 128))
+    def test_modulo_scheme_monotone(self, small, extra, bits):
+        scheme = ModuloScheme(bits)
+        big = small | extra
+        assert is_subset_sig(scheme.signature(small), scheme.signature(big))
+
+    @given(small=element_sets, extra=element_sets, bits=st.integers(4, 128))
+    def test_scramble_scheme_monotone(self, small, extra, bits):
+        scheme = ScrambleScheme(bits)
+        big = small | extra
+        assert is_subset_sig(scheme.signature(small), scheme.signature(big))
+
+    @given(elements=element_sets, bits=st.integers(1, 64))
+    def test_signature_fits_width(self, elements, bits):
+        assert ModuloScheme(bits).signature(elements) >> bits == 0
+
+    @given(elements=element_sets, bits=st.integers(4, 64))
+    def test_popcount_bounded_by_cardinality(self, elements, bits):
+        sig = ModuloScheme(bits).signature(elements)
+        assert sig.bit_count() <= len(elements)
+
+
+# ---------------------------------------------------------------------------
+# Patricia trie over signatures
+# ---------------------------------------------------------------------------
+
+
+class TestPatriciaProperties:
+    @given(sigs=signature_lists)
+    def test_invariants_hold_after_any_insertion_order(self, sigs):
+        trie = PatriciaTrie(BITS)
+        for sig in sigs:
+            trie.insert(sig)
+        trie.check_invariants()
+        assert len(trie) == len(set(sigs))
+        if sigs:
+            assert trie.node_count() <= 2 * len(trie) - 1
+
+    @given(sigs=signature_lists, query=signatures)
+    def test_subset_enum_equals_brute_force(self, sigs, query):
+        trie = PatriciaTrie(BITS)
+        for sig in sigs:
+            trie.insert(sig)
+        found = {leaf.signature for leaf in trie.subset_leaves(query)}
+        assert found == {s for s in set(sigs) if s & ~query == 0}
+
+    @given(sigs=signature_lists, query=signatures)
+    def test_superset_enum_equals_brute_force(self, sigs, query):
+        trie = PatriciaTrie(BITS)
+        for sig in sigs:
+            trie.insert(sig)
+        found = {leaf.signature for leaf in trie.superset_leaves(query)}
+        assert found == {s for s in set(sigs) if query & ~s == 0}
+
+    @given(sigs=signature_lists, query=signatures, k=st.integers(0, BITS))
+    def test_hamming_enum_equals_brute_force(self, sigs, query, k):
+        trie = PatriciaTrie(BITS)
+        for sig in sigs:
+            trie.insert(sig)
+        found = {leaf.signature for leaf, _ in trie.hamming_leaves(query, k)}
+        assert found == {s for s in set(sigs) if (s ^ query).bit_count() <= k}
+
+    @given(sigs=signature_lists)
+    def test_equal_lookup_finds_all_inserted(self, sigs):
+        trie = PatriciaTrie(BITS)
+        for sig in sigs:
+            trie.insert(sig)
+        for sig in set(sigs):
+            leaf = trie.equal_leaf(sig)
+            assert leaf is not None and leaf.signature == sig
+
+
+# ---------------------------------------------------------------------------
+# PRETTI+ trie (Algorithm 8)
+# ---------------------------------------------------------------------------
+
+
+class TestSetPatriciaProperties:
+    @given(sets=set_lists)
+    def test_stores_exactly_the_inserted_sets(self, sets):
+        trie = SetPatriciaTrie()
+        for i, s in enumerate(sets):
+            trie.insert(tuple(sorted(s)), rid=i)
+        trie.check_invariants()
+        stored: dict[tuple[int, ...], set[int]] = {}
+        for elements, rids in trie.stored_sets():
+            stored[elements] = set(rids)
+        expected: dict[tuple[int, ...], set[int]] = {}
+        for i, s in enumerate(sets):
+            expected.setdefault(tuple(sorted(s)), set()).add(i)
+        # Tuples with empty sets live at the root, which stored_sets also
+        # reports (path () with rids).
+        assert stored == expected
+
+    @given(sets=set_lists)
+    def test_node_count_bound(self, sets):
+        trie = SetPatriciaTrie()
+        for i, s in enumerate(sets):
+            trie.insert(tuple(sorted(s)), rid=i)
+        assert trie.node_count() <= 2 * max(len(sets), 1) + 1
+
+
+# ---------------------------------------------------------------------------
+# Sorted-list intersection
+# ---------------------------------------------------------------------------
+
+
+class TestIntersection:
+    @given(
+        a=st.lists(st.integers(0, 500), unique=True).map(sorted),
+        b=st.lists(st.integers(0, 500), unique=True).map(sorted),
+    )
+    def test_equals_set_intersection(self, a, b):
+        assert intersect_sorted(a, b) == sorted(set(a) & set(b))
+
+
+# ---------------------------------------------------------------------------
+# End-to-end joins
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def relation_pairs(draw):
+    r_sets = draw(st.lists(element_sets, min_size=0, max_size=18))
+    s_sets = draw(st.lists(element_sets, min_size=0, max_size=18))
+    return relation_of(r_sets), relation_of(s_sets)
+
+
+class TestJoinProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(pair=relation_pairs())
+    def test_ptsj_equals_oracle(self, pair):
+        r, s = pair
+        got = set_containment_join(r, s, algorithm="ptsj").pair_set()
+        assert got == set(nested_loop_join_pairs(r, s))
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=relation_pairs())
+    def test_pretti_plus_equals_oracle(self, pair):
+        r, s = pair
+        got = set_containment_join(r, s, algorithm="pretti+").pair_set()
+        assert got == set(nested_loop_join_pairs(r, s))
+
+    @settings(max_examples=25, deadline=None)
+    @given(pair=relation_pairs())
+    def test_shj_equals_oracle(self, pair):
+        r, s = pair
+        got = set_containment_join(r, s, algorithm="shj").pair_set()
+        assert got == set(nested_loop_join_pairs(r, s))
+
+    @settings(max_examples=25, deadline=None)
+    @given(pair=relation_pairs())
+    def test_pretti_equals_oracle(self, pair):
+        r, s = pair
+        got = set_containment_join(r, s, algorithm="pretti").pair_set()
+        assert got == set(nested_loop_join_pairs(r, s))
+
+    @settings(max_examples=30, deadline=None)
+    @given(pair=relation_pairs())
+    def test_superset_join_semantics(self, pair):
+        r, s = pair
+        got = superset_join(r, s, bits=64).pair_set()
+        assert got == {
+            (rr.rid, ss.rid) for rr in r for ss in s if rr.elements <= ss.elements
+        }
+
+    @settings(max_examples=30, deadline=None)
+    @given(pair=relation_pairs())
+    def test_equality_join_semantics(self, pair):
+        r, s = pair
+        got = equality_join(r, s, bits=64).pair_set()
+        assert got == {
+            (rr.rid, ss.rid) for rr in r for ss in s if rr.elements == ss.elements
+        }
+
+    @settings(max_examples=25, deadline=None)
+    @given(pair=relation_pairs(), k=st.integers(0, 6))
+    def test_similarity_join_semantics(self, pair, k):
+        r, s = pair
+        got = similarity_join(r, s, k, bits=64).pair_set()
+        assert got == {
+            (rr.rid, ss.rid)
+            for rr in r
+            for ss in s
+            if len(rr.elements ^ ss.elements) <= k
+        }

@@ -1,0 +1,114 @@
+"""Unit tests for PTSJ (the paper's primary contribution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ptsj import PTSJ
+from repro.relations.relation import Relation
+from tests.conftest import TABLE1_EXPECTED, oracle_pairs, random_relation
+
+
+class TestCorrectness:
+    def test_table1_example(self, table1_profiles, table1_preferences):
+        result = PTSJ().join(table1_profiles, table1_preferences)
+        assert result.pair_set() == TABLE1_EXPECTED
+
+    def test_matches_oracle_random(self, small_pair):
+        r, s = small_pair
+        assert PTSJ().join(r, s).pair_set() == oracle_pairs(r, s)
+
+    def test_self_join(self):
+        rel = random_relation(80, 8, 50, seed=70)
+        assert PTSJ().join(rel, rel).pair_set() == oracle_pairs(rel, rel)
+
+    def test_empty_relations(self):
+        empty = Relation([])
+        other = Relation.from_sets([{1}])
+        assert len(PTSJ(bits=16).join(empty, other)) == 0
+        assert len(PTSJ(bits=16).join(other, empty)) == 0
+        assert len(PTSJ(bits=16).join(empty, empty)) == 0
+
+    def test_empty_sets_match_everything(self):
+        r = Relation.from_sets([{1}, set()])
+        s = Relation.from_sets([set(), {1, 2}])
+        result = PTSJ().join(r, s)
+        # Every r contains the empty s-set; only nothing contains {1,2}.
+        assert result.pair_set() == {(0, 0), (1, 0)}
+
+    def test_duplicate_sets_all_reported(self):
+        r = Relation.from_sets([{1, 2, 3}])
+        s = Relation.from_sets([{1, 2}, {1, 2}, {1, 2}])
+        result = PTSJ().join(r, s)
+        assert result.pair_set() == {(0, 0), (0, 1), (0, 2)}
+
+    @pytest.mark.parametrize("bits", [8, 64, 333, 2048])
+    def test_any_signature_length_is_correct(self, bits, small_pair):
+        """Signature length affects speed, never correctness."""
+        r, s = small_pair
+        assert PTSJ(bits=bits).join(r, s).pair_set() == oracle_pairs(r, s)
+
+    def test_merge_identical_off_same_result(self, small_pair):
+        r, s = small_pair
+        merged = PTSJ(merge_identical=True).join(r, s).pair_set()
+        unmerged = PTSJ(merge_identical=False).join(r, s).pair_set()
+        assert merged == unmerged
+
+
+class TestStatsAndExtension:
+    def test_default_bits_follow_strategy(self, small_pair):
+        r, s = small_pair
+        result = PTSJ().join(r, s)
+        cards = [rec.cardinality for rec in r] + [rec.cardinality for rec in s]
+        avg_c = sum(cards) / len(cards)
+        assert result.stats.signature_bits <= 16 * avg_c + 32
+        assert result.stats.signature_bits >= 8
+
+    def test_explicit_bits_respected(self, small_pair):
+        r, s = small_pair
+        assert PTSJ(bits=128).join(r, s).stats.signature_bits == 128
+
+    def test_merge_identical_reduces_verifications(self):
+        """Sec. III-E1: duplicates cost one comparison instead of many."""
+        r = random_relation(50, 6, 12, seed=71)
+        base = Relation.from_sets([{1, 2}, {1, 2}, {1, 2}, {1, 2}, {3, 4}] * 10)
+        with_merge = PTSJ(merge_identical=True).join(r, base)
+        without = PTSJ(merge_identical=False).join(r, base)
+        assert with_merge.pair_set() == without.pair_set()
+        assert with_merge.stats.verifications < without.stats.verifications
+
+    def test_node_visits_accumulated(self, small_pair):
+        r, s = small_pair
+        stats = PTSJ().join(r, s).stats
+        assert stats.node_visits >= len(r)  # at least the root per probe
+
+    def test_index_nodes_bounded(self, small_pair):
+        r, s = small_pair
+        stats = PTSJ().join(r, s).stats
+        assert 0 < stats.index_nodes <= 2 * len(s)
+
+    def test_built_trie_reusable(self, small_pair):
+        r, s = small_pair
+        algo = PTSJ()
+        algo.join(r, s)
+        trie = algo.built_trie()
+        assert trie.leaf_count > 0
+
+    def test_built_trie_before_join_raises(self):
+        with pytest.raises(RuntimeError):
+            PTSJ().built_trie()
+
+    def test_candidates_at_least_pairs(self, small_pair):
+        """Every output pair's group passed verification."""
+        r, s = small_pair
+        stats = PTSJ().join(r, s).stats
+        assert stats.verifications >= stats.candidates > 0
+
+    def test_longer_signatures_filter_better(self):
+        """More bits -> fewer false-positive candidates (Sec. III-C)."""
+        r = random_relation(150, 10, 500, seed=72)
+        s = random_relation(150, 6, 500, seed=73)
+        short = PTSJ(bits=16).join(r, s).stats
+        long = PTSJ(bits=512).join(r, s).stats
+        assert long.candidates < short.candidates
+        assert long.pairs == short.pairs

@@ -1,0 +1,77 @@
+"""Unit tests for benchmark-series persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.results_io import (
+    load_series_csv,
+    load_series_json,
+    save_series_csv,
+    save_series_json,
+)
+from repro.errors import ReproError
+
+BUNDLE = {
+    "fig6c": {
+        "c=2^2": {"ptsj": 0.093, "pretti+": 0.021},
+        "c=2^8": {"ptsj": 1.02, "pretti+": 5.85},
+    },
+    "fig6a": {"c=2^4": {"pretti": 3900.0}},
+}
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "series.json"
+        save_series_json(BUNDLE, path, units={"fig6a": "bytes"})
+        figures, units = load_series_json(path)
+        assert figures == BUNDLE
+        assert units == {"fig6a": "bytes"}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_series_json(tmp_path / "nope.json")
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "series.json"
+        path.write_text('{"version": 99, "figures": {}}')
+        with pytest.raises(ReproError):
+            load_series_json(path)
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "series.json"
+        path.write_text("not json at all")
+        with pytest.raises(ReproError):
+            load_series_json(path)
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "series.csv"
+        save_series_csv(BUNDLE, path)
+        assert load_series_csv(path) == BUNDLE
+
+    def test_header_enforced(self, tmp_path):
+        path = tmp_path / "series.csv"
+        path.write_text("a,b,c\n")
+        with pytest.raises(ReproError):
+            load_series_csv(path)
+
+    def test_column_count_enforced(self, tmp_path):
+        path = tmp_path / "series.csv"
+        path.write_text("figure,label,algorithm,value\nfig,x\n")
+        with pytest.raises(ReproError):
+            load_series_csv(path)
+
+    def test_numeric_values_enforced(self, tmp_path):
+        path = tmp_path / "series.csv"
+        path.write_text("figure,label,algorithm,value\nfig,x,a,fast\n")
+        with pytest.raises(ReproError):
+            load_series_csv(path)
+
+    def test_float_precision_preserved(self, tmp_path):
+        bundle = {"f": {"x": {"a": 0.1234567890123456}}}
+        path = tmp_path / "series.csv"
+        save_series_csv(bundle, path)
+        assert load_series_csv(path) == bundle

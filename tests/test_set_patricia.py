@@ -1,0 +1,132 @@
+"""Unit tests for the element-space Patricia trie (PRETTI+, Algorithm 8)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import TrieError
+from repro.tries.set_patricia import SetPatriciaTrie
+from repro.tries.set_trie import SetTrie
+
+
+def build(sets: list[tuple[int, ...]]) -> SetPatriciaTrie:
+    trie = SetPatriciaTrie()
+    for i, s in enumerate(sets):
+        trie.insert(s, rid=i)
+    return trie
+
+
+class TestInsertCases:
+    def test_single_set_one_node(self):
+        """A lone set collapses to one node below the root."""
+        trie = build([(1, 3, 5)])
+        assert trie.node_count() == 2
+        assert trie.root.children[1].prefix == (1, 3, 5)
+
+    def test_case1_set_ends_at_existing_node(self):
+        trie = build([(1, 2, 3), (1, 2, 3)])
+        node = trie.root.children[1]
+        assert node.tuples == [0, 1]
+        assert len(trie) == 2
+
+    def test_case2_descend_into_child(self):
+        trie = build([(1, 2), (1, 2, 3, 4)])
+        parent = trie.root.children[1]
+        assert parent.prefix == (1, 2)
+        assert parent.children[3].prefix == (3, 4)
+        assert parent.children[3].tuples == [1]
+
+    def test_case3_split_new_parent_holds_tuple(self):
+        """Inserting a strict prefix of an existing run splits the node and
+        the new common node holds the new tuple."""
+        trie = build([(1, 2, 3, 4), (1, 2)])
+        common = trie.root.children[1]
+        assert common.prefix == (1, 2)
+        assert common.tuples == [1]
+        assert common.children[3].prefix == (3, 4)
+        assert common.children[3].tuples == [0]
+
+    def test_case4_split_with_sibling(self):
+        """Diverging mid-run creates a common parent plus a sibling leaf."""
+        trie = build([(1, 2, 3), (1, 2, 5)])
+        common = trie.root.children[1]
+        assert common.prefix == (1, 2)
+        assert common.tuples == []
+        assert common.children[3].prefix == (3,)
+        assert common.children[5].prefix == (5,)
+
+    def test_paper_figure4(self):
+        """Fig. 4: inserting {b,d}, {b,f,g}, {a,c,h} gives nodes
+        [ach], [b] -> [d], [fg]."""
+        # a..h -> 0..7; p1={b,d}=(1,3), p2={b,f,g}=(1,5,6), p3={a,c,h}=(0,2,7)
+        trie = build([(1, 3), (1, 5, 6), (0, 2, 7)])
+        assert trie.root.children[0].prefix == (0, 2, 7)   # ach
+        b_node = trie.root.children[1]
+        assert b_node.prefix == (1,)
+        assert b_node.children[3].prefix == (3,)           # d
+        assert b_node.children[5].prefix == (5, 6)         # fg
+        assert trie.node_count() == 5                       # root + 4
+
+    def test_empty_set_at_root(self):
+        trie = build([()])
+        assert trie.root.tuples == [0]
+
+    def test_non_ascending_rejected(self):
+        with pytest.raises(TrieError):
+            SetPatriciaTrie().insert((2, 1), rid=0)
+        with pytest.raises(TrieError):
+            SetPatriciaTrie().insert((1, 1), rid=0)
+
+
+class TestCompression:
+    def test_fewer_nodes_than_plain_trie(self):
+        """The whole point of PRETTI+: collapsed chains (Fig. 6a memory)."""
+        rng = random.Random(50)
+        sets = [tuple(sorted(rng.sample(range(1000), 20))) for _ in range(100)]
+        patricia = build(sets)
+        plain = SetTrie()
+        for i, s in enumerate(sets):
+            plain.insert(s, rid=i)
+        assert patricia.node_count() < plain.node_count() / 3
+
+    def test_node_count_bounded(self):
+        """A Patricia trie over k sets has at most 2k + 1 nodes."""
+        rng = random.Random(51)
+        sets = [tuple(sorted(rng.sample(range(200), rng.randint(0, 12)))) for _ in range(300)]
+        trie = build(sets)
+        assert trie.node_count() <= 2 * len(sets) + 1
+
+    def test_invariants_random(self):
+        rng = random.Random(52)
+        sets = [tuple(sorted(rng.sample(range(60), rng.randint(0, 10)))) for _ in range(400)]
+        trie = build(sets)
+        trie.check_invariants()
+
+    def test_stored_sets_roundtrip(self):
+        rng = random.Random(53)
+        sets = [tuple(sorted(rng.sample(range(80), rng.randint(0, 8)))) for _ in range(200)]
+        trie = build(sets)
+        trie.check_invariants()
+        recovered: dict[tuple[int, ...], list[int]] = {}
+        for elements, rids in trie.stored_sets():
+            recovered[elements] = sorted(rids)
+        expected: dict[tuple[int, ...], list[int]] = {}
+        for i, s in enumerate(sets):
+            expected.setdefault(s, []).append(i)
+        assert recovered == expected
+
+    def test_height_bounded_by_set_trie_height(self):
+        rng = random.Random(54)
+        sets = [tuple(sorted(rng.sample(range(100), 15))) for _ in range(50)]
+        patricia = build(sets)
+        plain = SetTrie()
+        for i, s in enumerate(sets):
+            plain.insert(s, rid=i)
+        assert patricia.height() <= plain.height()
+
+    def test_walk_reconstructs_full_paths(self):
+        trie = build([(1, 2, 3), (1, 2, 5), (1, 2)])
+        paths = {path for node, path in trie.walk() if node.tuples}
+        assert paths == {(1, 2, 3), (1, 2, 5), (1, 2)}

@@ -1,0 +1,88 @@
+"""Unit tests for the element-space prefix tree (PRETTI's index)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TrieError
+from repro.tries.set_trie import SetTrie
+
+
+class TestInsert:
+    def test_single_set(self):
+        trie = SetTrie()
+        trie.insert((1, 3, 5), rid=7)
+        assert len(trie) == 1
+        assert trie.node_count() == 4  # root + 3 elements
+
+    def test_shared_prefix_shares_nodes(self):
+        """Fig. 1: {b,d}, {b,f,g} share the 'b' node."""
+        trie = SetTrie()
+        trie.insert((1, 3), rid=0)        # p1 = {b, d}
+        trie.insert((1, 5, 6), rid=1)     # p2 = {b, f, g}
+        trie.insert((0, 2, 7), rid=2)     # p3 = {a, c, h}
+        # root + b + d + f + g + a + c + h = 8
+        assert trie.node_count() == 8
+
+    def test_empty_set_lives_at_root(self):
+        trie = SetTrie()
+        trie.insert((), rid=5)
+        assert trie.root.tuples == [5]
+        assert len(trie) == 1
+
+    def test_duplicate_sets_share_node(self):
+        trie = SetTrie()
+        trie.insert((1, 2), rid=0)
+        trie.insert((1, 2), rid=1)
+        assert len(trie) == 2
+        node = trie.root.children[1].children[2]
+        assert node.tuples == [0, 1]
+
+    def test_non_ascending_rejected(self):
+        trie = SetTrie()
+        with pytest.raises(TrieError):
+            trie.insert((3, 1), rid=0)
+
+    def test_repeated_element_rejected(self):
+        with pytest.raises(TrieError):
+            SetTrie().insert((1, 1), rid=0)
+
+
+class TestStructure:
+    def test_height_equals_max_cardinality(self):
+        """Sec. II-B weak point: trie height = set cardinality."""
+        trie = SetTrie()
+        trie.insert(tuple(range(10)), rid=0)
+        trie.insert((1, 2), rid=1)
+        assert trie.height() == 10
+
+    def test_descendant_contains_ancestor_path(self):
+        trie = SetTrie()
+        trie.insert((1, 2, 3), rid=0)
+        trie.insert((1, 2), rid=1)
+        for node, path in trie.walk():
+            if node.tuples:
+                assert set(path) <= {1, 2, 3}
+
+    def test_walk_paths_reconstruct_sets(self):
+        sets = [(1, 4, 9), (1, 4), (2, 3), ()]
+        trie = SetTrie()
+        for i, s in enumerate(sets):
+            trie.insert(s, rid=i)
+        recovered = {path for node, path in trie.walk() if node.tuples}
+        assert recovered == set(sets)
+
+    def test_check_invariants_on_valid_trie(self):
+        trie = SetTrie()
+        for i, s in enumerate([(1, 2), (1, 3, 5), (4,), ()]):
+            trie.insert(s, rid=i)
+        trie.check_invariants()
+
+    def test_check_invariants_detects_corruption(self):
+        trie = SetTrie()
+        trie.insert((1, 2), rid=0)
+        # Corrupt: move the child under a wrong key.
+        child = trie.root.children.pop(1)
+        trie.root.children[9] = child
+        with pytest.raises(TrieError):
+            trie.check_invariants()

@@ -1,0 +1,120 @@
+"""Unit tests for the SHJ baseline (Algorithm 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.shj import SHJ, iter_submasks, optimal_shj_bits
+from repro.errors import AlgorithmError
+from repro.relations.relation import Relation
+from tests.conftest import TABLE1_EXPECTED, oracle_pairs, random_relation
+
+
+class TestSubmaskEnumeration:
+    def test_enumerates_all_submasks(self):
+        assert sorted(iter_submasks(0b101)) == [0, 0b001, 0b100, 0b101]
+
+    def test_zero_mask(self):
+        assert list(iter_submasks(0)) == [0]
+
+    def test_count_is_two_to_popcount(self):
+        for mask in (0b1, 0b1111, 0b1010101):
+            assert len(list(iter_submasks(mask))) == 2 ** mask.bit_count()
+
+    def test_every_yield_is_submask(self):
+        mask = 0b110110
+        assert all(sub & ~mask == 0 for sub in iter_submasks(mask))
+
+
+class TestOptimalBits:
+    def test_weight_rule(self):
+        """b = c / ln 2 ~ 1.44 c."""
+        assert optimal_shj_bits(100) == math.ceil(100 / math.log(2))
+
+    def test_clamped_to_minimum(self):
+        assert optimal_shj_bits(1) == 16
+
+    def test_clamped_to_maximum(self):
+        assert optimal_shj_bits(10 ** 6) == 4096
+
+    def test_invalid_cardinality(self):
+        with pytest.raises(AlgorithmError):
+            optimal_shj_bits(0)
+
+
+class TestCorrectness:
+    def test_table1_example(self, table1_profiles, table1_preferences):
+        result = SHJ().join(table1_profiles, table1_preferences)
+        assert result.pair_set() == TABLE1_EXPECTED
+
+    def test_matches_oracle_random(self, small_pair):
+        r, s = small_pair
+        assert SHJ().join(r, s).pair_set() == oracle_pairs(r, s)
+
+    @pytest.mark.parametrize("partial", [1, 4, 12, 20])
+    def test_any_partial_length_is_correct(self, partial, small_pair):
+        r, s = small_pair
+        assert SHJ(partial_bits=partial).join(r, s).pair_set() == oracle_pairs(r, s)
+
+    @pytest.mark.parametrize("bits", [8, 32, 200])
+    def test_any_signature_length_is_correct(self, bits, small_pair):
+        r, s = small_pair
+        assert SHJ(bits=bits).join(r, s).pair_set() == oracle_pairs(r, s)
+
+    def test_empty_relations(self):
+        empty = Relation([])
+        other = Relation.from_sets([{1}])
+        assert len(SHJ(bits=16).join(empty, other)) == 0
+        assert len(SHJ(bits=16).join(other, empty)) == 0
+
+    def test_empty_sets(self):
+        r = Relation.from_sets([set(), {1}])
+        s = Relation.from_sets([set(), {2}])
+        assert SHJ().join(r, s).pair_set() == {(0, 0), (1, 0)}
+
+
+class TestConfiguration:
+    def test_partial_bits_over_20_rejected(self):
+        """Paper Sec. III: partial length 'cannot even reach 20 bits'."""
+        with pytest.raises(AlgorithmError):
+            SHJ(partial_bits=21)
+
+    def test_partial_cap_validated(self):
+        with pytest.raises(AlgorithmError):
+            SHJ(partial_cap=0)
+        with pytest.raises(AlgorithmError):
+            SHJ(partial_cap=32)
+
+    def test_partial_grows_with_relation_size(self):
+        small_s = random_relation(32, 5, 64, seed=90)
+        big_s = random_relation(2048, 5, 64, seed=91)
+        probe = random_relation(10, 5, 64, seed=92)
+        shj_small = SHJ()
+        shj_small.join(probe, small_s)
+        shj_big = SHJ()
+        shj_big.join(probe, big_s)
+        assert shj_big.partial_bits > shj_small.partial_bits
+
+    def test_partial_never_exceeds_signature(self, small_pair):
+        r, s = small_pair
+        algo = SHJ(bits=6, partial_bits=20)
+        algo.join(r, s)
+        assert algo.partial_bits <= 6
+
+    def test_enumeration_counters_recorded(self, small_pair):
+        r, s = small_pair
+        stats = SHJ().join(r, s).stats
+        assert stats.extras["submask_enumerations"] >= len(r)
+        assert "bucket_entries_scanned" in stats.extras
+        assert "partial_bits" in stats.extras
+
+    def test_longer_partial_scans_fewer_entries(self):
+        """More hashed bits -> more selective buckets."""
+        r = random_relation(120, 8, 64, seed=93)
+        s = random_relation(400, 8, 64, seed=94)
+        coarse = SHJ(partial_bits=2).join(r, s).stats
+        fine = SHJ(partial_bits=14).join(r, s).stats
+        assert fine.extras["bucket_entries_scanned"] < coarse.extras["bucket_entries_scanned"]
+        assert fine.extras["submask_enumerations"] > coarse.extras["submask_enumerations"]

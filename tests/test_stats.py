@@ -1,0 +1,58 @@
+"""Unit tests for relation statistics (Table III columns)."""
+
+from __future__ import annotations
+
+from repro.relations.relation import Relation
+from repro.relations.stats import compute_stats
+
+
+class TestComputeStats:
+    def test_basic_counts(self):
+        rel = Relation.from_sets([{1, 2}, {3}, {1, 2, 3, 4}])
+        st = compute_stats(rel)
+        assert st.size == 3
+        assert st.total_elements == 7
+        assert st.avg_cardinality == 7 / 3
+        assert st.median_cardinality == 2.0
+        assert st.min_cardinality == 1
+        assert st.max_cardinality == 4
+
+    def test_domain_cardinality_counts_distinct(self):
+        rel = Relation.from_sets([{1, 2}, {2, 3}])
+        assert compute_stats(rel).domain_cardinality == 3
+
+    def test_duplicate_sets_counted(self):
+        rel = Relation.from_sets([{1, 2}, {1, 2}, {3}, {1, 2}])
+        assert compute_stats(rel).duplicate_sets == 2
+
+    def test_empty_relation_is_all_zero(self):
+        st = compute_stats(Relation([]))
+        assert st.size == 0
+        assert st.avg_cardinality == 0.0
+        assert st.domain_cardinality == 0
+
+    def test_empty_sets_count_in_cardinality(self):
+        rel = Relation.from_sets([set(), {1}])
+        st = compute_stats(rel)
+        assert st.min_cardinality == 0
+        assert st.median_cardinality == 0.5
+
+    def test_as_table_row_has_paper_columns(self):
+        row = compute_stats(Relation.from_sets([{1, 2}])).as_table_row()
+        assert set(row) == {"|R|", "c avg.", "c median", "d"}
+
+    def test_recommended_low_cardinality_is_pretti_plus(self):
+        rel = Relation.from_sets([{1, 2, 3}] * 5)
+        assert compute_stats(rel).recommended_algorithm() == "pretti+"
+
+    def test_recommended_high_cardinality_is_ptsj(self):
+        rel = Relation.from_sets([set(range(100))] * 5)
+        assert compute_stats(rel).recommended_algorithm() == "ptsj"
+
+    def test_recommendation_uses_median_not_average(self):
+        """Sec. V-C5: skewed cardinality -> decide on the median."""
+        # One huge set inflates the average; the median stays small.
+        sets = [{1, 2} for _ in range(9)] + [set(range(1000))]
+        st = compute_stats(Relation.from_sets(sets))
+        assert st.avg_cardinality > 32
+        assert st.recommended_algorithm() == "pretti+"

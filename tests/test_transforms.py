@@ -1,0 +1,72 @@
+"""Unit tests for relation densification and relabelling."""
+
+from __future__ import annotations
+
+from repro.relations.relation import Relation
+from repro.relations.transforms import apply_universe, densify, relabel_by_frequency
+from tests.conftest import oracle_pairs, random_relation
+
+
+class TestDensify:
+    def test_remaps_to_dense_domain(self):
+        rel, uni = densify(Relation.from_sets([{10 ** 9, 7}, {7, 55}]))
+        assert rel.domain() == frozenset({0, 1, 2})
+        assert len(uni) == 3
+
+    def test_decode_recovers_original(self):
+        original = Relation.from_sets([{100, 200}, {300}])
+        dense, uni = densify(original)
+        for rec, orig in zip(dense, original):
+            assert uni.decode_set(rec.elements) == orig.elements
+
+    def test_preserves_ids_and_containment(self):
+        rel = random_relation(60, 6, 5000, seed=930, start_id=10)
+        dense, _ = densify(rel)
+        assert dense.ids() == rel.ids()
+        assert oracle_pairs(dense, dense) == oracle_pairs(rel, rel)
+
+    def test_deterministic_first_seen_order(self):
+        rel = Relation.from_sets([{5, 3}, {9, 3}])
+        dense_a, _ = densify(rel)
+        dense_b, _ = densify(rel)
+        assert dense_a == dense_b
+
+    def test_empty_relation(self):
+        dense, uni = densify(Relation([]))
+        assert len(dense) == 0 and len(uni) == 0
+
+
+class TestRelabelByFrequency:
+    def test_most_frequent_is_zero(self):
+        rel = Relation.from_sets([{7, 9}, {7}, {7, 11}])
+        dense, uni = relabel_by_frequency(rel)
+        assert uni.decode(0) == 7
+
+    def test_ties_break_by_original_id(self):
+        rel = Relation.from_sets([{5}, {3}])
+        _, uni = relabel_by_frequency(rel)
+        assert uni.decode(0) == 3 and uni.decode(1) == 5
+
+    def test_containment_preserved(self):
+        rel = random_relation(50, 6, 200, seed=931)
+        dense, _ = relabel_by_frequency(rel)
+        assert oracle_pairs(dense, dense) == oracle_pairs(rel, rel)
+
+
+class TestApplyUniverse:
+    def test_shared_dictionary_keeps_join_semantics(self):
+        from repro.core.registry import set_containment_join
+
+        r = random_relation(40, 6, 10 ** 6, seed=932)
+        s = random_relation(40, 4, 10 ** 6, seed=933)
+        dense_s, uni = densify(s)
+        dense_r = apply_universe(r, uni)
+        expected = oracle_pairs(r, s)
+        got = set_containment_join(dense_r, dense_s, algorithm="ptsj").pair_set()
+        assert got == expected
+
+    def test_unseen_elements_extend_dictionary(self):
+        base, uni = densify(Relation.from_sets([{1, 2}]))
+        before = len(uni)
+        apply_universe(Relation.from_sets([{99}]), uni)
+        assert len(uni) == before + 1

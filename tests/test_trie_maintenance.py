@@ -1,0 +1,190 @@
+"""Tests for dynamic trie maintenance (deletion) and set-trie searches."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tries.patricia import PatriciaTrie
+from repro.tries.set_patricia import SetPatriciaTrie
+from repro.tries.set_trie import SetTrie
+from tests.test_patricia_trie import brute_subsets, random_signatures
+
+BITS = 24
+
+
+class TestPatriciaRemove:
+    def test_remove_missing_returns_none(self):
+        trie = PatriciaTrie(8)
+        trie.insert(0b1)
+        assert trie.remove(0b10) is None
+        assert len(trie) == 1
+
+    def test_remove_from_empty_trie(self):
+        assert PatriciaTrie(8).remove(0) is None
+
+    def test_remove_only_leaf_empties_trie(self):
+        trie = PatriciaTrie(8)
+        trie.insert(0b101).append("x")
+        items = trie.remove(0b101)
+        assert items == ["x"]
+        assert len(trie) == 0
+        assert trie.root is None
+        assert trie.subset_leaves(0xFF) == []
+
+    def test_remove_merges_sibling(self):
+        trie = PatriciaTrie(4)
+        for sig in (0b0101, 0b0110, 0b1011):
+            trie.insert(sig)
+        trie.remove(0b0110)
+        trie.check_invariants()
+        assert {leaf.signature for leaf in trie.leaves()} == {0b0101, 0b1011}
+        assert trie.node_count() == 3
+
+    def test_reinsert_after_remove(self):
+        trie = PatriciaTrie(16)
+        trie.insert(0xF0F0).append(1)
+        trie.remove(0xF0F0)
+        items = trie.insert(0xF0F0)
+        assert items == []
+        trie.check_invariants()
+
+    def test_random_insert_delete_invariants(self):
+        rng = random.Random(800)
+        trie = PatriciaTrie(BITS)
+        alive: set[int] = set()
+        for _ in range(600):
+            sig = rng.getrandbits(BITS)
+            if sig in alive and rng.random() < 0.6:
+                trie.remove(sig)
+                alive.discard(sig)
+            else:
+                trie.insert(sig)
+                alive.add(sig)
+            if rng.random() < 0.05:
+                trie.check_invariants()
+        trie.check_invariants()
+        assert {leaf.signature for leaf in trie.leaves()} == alive
+        query = rng.getrandbits(BITS)
+        found = {leaf.signature for leaf in trie.subset_leaves(query)}
+        assert found == brute_subsets(list(alive), query)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, (1 << 12) - 1), st.booleans()), max_size=60))
+    def test_hypothesis_insert_delete(self, operations):
+        trie = PatriciaTrie(12)
+        alive: set[int] = set()
+        for sig, is_delete in operations:
+            if is_delete:
+                removed = trie.remove(sig)
+                assert (removed is not None) == (sig in alive)
+                alive.discard(sig)
+            else:
+                trie.insert(sig)
+                alive.add(sig)
+        trie.check_invariants()
+        assert {leaf.signature for leaf in trie.leaves()} == alive
+        assert len(trie) == len(alive)
+
+
+class TestSetPatriciaRemove:
+    def build(self, sets):
+        trie = SetPatriciaTrie()
+        for i, s in enumerate(sets):
+            trie.insert(tuple(sorted(s)), rid=i)
+        return trie
+
+    def test_remove_missing(self):
+        trie = self.build([(1, 2)])
+        assert not trie.remove((1, 3), rid=0)
+        assert not trie.remove((1, 2), rid=9)
+        assert len(trie) == 1
+
+    def test_remove_leaf_and_merge(self):
+        trie = self.build([(1, 2, 3), (1, 2, 5)])
+        assert trie.remove((1, 2, 5), rid=1)
+        trie.check_invariants()
+        assert dict(trie.stored_sets()) == {(1, 2, 3): [0]}
+        # The split node must have re-merged into a single run.
+        assert trie.node_count() == 2
+
+    def test_remove_mid_node_keeps_children(self):
+        trie = self.build([(1, 2), (1, 2, 3, 4)])
+        assert trie.remove((1, 2), rid=0)
+        trie.check_invariants()
+        assert dict(trie.stored_sets()) == {(1, 2, 3, 4): [1]}
+
+    def test_remove_empty_set_at_root(self):
+        trie = self.build([()])
+        assert trie.remove((), rid=0)
+        assert len(trie) == 0
+
+    def test_remove_one_of_duplicates(self):
+        trie = self.build([(3, 4), (3, 4)])
+        assert trie.remove((3, 4), rid=0)
+        assert dict(trie.stored_sets()) == {(3, 4): [1]}
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.frozensets(st.integers(0, 30), max_size=6), min_size=1, max_size=25),
+           st.data())
+    def test_hypothesis_insert_delete(self, sets, data):
+        trie = SetPatriciaTrie()
+        for i, s in enumerate(sets):
+            trie.insert(tuple(sorted(s)), rid=i)
+        to_delete = data.draw(st.sets(st.integers(0, len(sets) - 1)))
+        for rid in to_delete:
+            assert trie.remove(tuple(sorted(sets[rid])), rid=rid)
+        trie.check_invariants()
+        expected: dict[tuple[int, ...], list[int]] = {}
+        for i, s in enumerate(sets):
+            if i not in to_delete:
+                expected.setdefault(tuple(sorted(s)), []).append(i)
+        stored = {k: sorted(v) for k, v in trie.stored_sets()}
+        assert stored == expected
+
+
+class TestSetTrieSearch:
+    def brute(self, sets, query, op):
+        return sorted(
+            i for i, s in enumerate(sets)
+            if (s <= query if op == "sub" else s >= query)
+        )
+
+    @pytest.mark.parametrize("trie_cls", [SetTrie, SetPatriciaTrie])
+    def test_subsets_of_matches_brute_force(self, trie_cls):
+        rng = random.Random(801)
+        sets = [frozenset(rng.sample(range(30), rng.randint(0, 6))) for _ in range(150)]
+        trie = trie_cls()
+        for i, s in enumerate(sets):
+            trie.insert(tuple(sorted(s)), rid=i)
+        for _ in range(30):
+            query = frozenset(rng.sample(range(30), rng.randint(0, 12)))
+            assert sorted(trie.subsets_of(query)) == self.brute(sets, query, "sub")
+
+    @pytest.mark.parametrize("trie_cls", [SetTrie, SetPatriciaTrie])
+    def test_supersets_of_matches_brute_force(self, trie_cls):
+        rng = random.Random(802)
+        sets = [frozenset(rng.sample(range(30), rng.randint(0, 9))) for _ in range(150)]
+        trie = trie_cls()
+        for i, s in enumerate(sets):
+            trie.insert(tuple(sorted(s)), rid=i)
+        for _ in range(30):
+            query = frozenset(rng.sample(range(30), rng.randint(0, 5)))
+            assert sorted(trie.supersets_of(query)) == self.brute(sets, query, "sup")
+
+    @pytest.mark.parametrize("trie_cls", [SetTrie, SetPatriciaTrie])
+    def test_empty_query_supersets_returns_all(self, trie_cls):
+        trie = trie_cls()
+        trie.insert((1, 2), rid=0)
+        trie.insert((), rid=1)
+        assert sorted(trie.supersets_of(frozenset())) == [0, 1]
+
+    @pytest.mark.parametrize("trie_cls", [SetTrie, SetPatriciaTrie])
+    def test_empty_query_subsets_returns_empty_sets_only(self, trie_cls):
+        trie = trie_cls()
+        trie.insert((1,), rid=0)
+        trie.insert((), rid=1)
+        assert trie.subsets_of(frozenset()) == [1]

@@ -1,0 +1,60 @@
+"""Unit tests for TSJ, the plain-binary-trie ablation (Algorithm 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.tsj import TSJ
+from repro.core.ptsj import PTSJ
+from repro.relations.relation import Relation
+from tests.conftest import TABLE1_EXPECTED, oracle_pairs, random_relation
+
+
+class TestCorrectness:
+    def test_table1_example(self, table1_profiles, table1_preferences):
+        assert TSJ().join(table1_profiles, table1_preferences).pair_set() == TABLE1_EXPECTED
+
+    def test_matches_oracle_random(self, small_pair):
+        r, s = small_pair
+        assert TSJ().join(r, s).pair_set() == oracle_pairs(r, s)
+
+    @pytest.mark.parametrize("bits", [8, 48])
+    def test_any_signature_length(self, bits, small_pair):
+        r, s = small_pair
+        assert TSJ(bits=bits).join(r, s).pair_set() == oracle_pairs(r, s)
+
+    def test_empty_relations(self):
+        empty = Relation([])
+        other = Relation.from_sets([{1}])
+        assert len(TSJ(bits=8).join(empty, other)) == 0
+        assert len(TSJ(bits=8).join(other, empty)) == 0
+
+    def test_merge_identical_consistent(self, small_pair):
+        r, s = small_pair
+        assert (
+            TSJ(merge_identical=True).join(r, s).pair_set()
+            == TSJ(merge_identical=False).join(r, s).pair_set()
+        )
+
+
+class TestAblationStructure:
+    def test_same_result_as_ptsj(self, small_pair):
+        """TSJ and PTSJ differ only in the trie, never in output."""
+        r, s = small_pair
+        assert TSJ(bits=64).join(r, s).pair_set() == PTSJ(bits=64).join(r, s).pair_set()
+
+    def test_more_index_nodes_than_ptsj(self):
+        """Sec. III-A: single-branch chains blow up the plain trie."""
+        r = random_relation(50, 6, 200, seed=110)
+        s = random_relation(200, 6, 200, seed=111)
+        tsj_nodes = TSJ(bits=128).join(r, s).stats.index_nodes
+        ptsj_nodes = PTSJ(bits=128).join(r, s).stats.index_nodes
+        assert tsj_nodes > 3 * ptsj_nodes
+
+    def test_more_node_visits_than_ptsj(self):
+        """The enqueue-and-visit overhead that makes Algorithm 4 lose."""
+        r = random_relation(50, 6, 200, seed=112)
+        s = random_relation(200, 6, 200, seed=113)
+        tsj_visits = TSJ(bits=128).join(r, s).stats.node_visits
+        ptsj_visits = PTSJ(bits=128).join(r, s).stats.node_visits
+        assert tsj_visits > ptsj_visits

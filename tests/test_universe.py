@@ -1,0 +1,68 @@
+"""Unit tests for the label <-> id dictionary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relations.universe import Universe
+
+
+class TestUniverse:
+    def test_encode_assigns_dense_ids(self):
+        u = Universe()
+        assert u.encode("a") == 0
+        assert u.encode("b") == 1
+        assert u.encode("c") == 2
+
+    def test_encode_is_idempotent(self):
+        u = Universe()
+        assert u.encode("x") == u.encode("x")
+        assert len(u) == 1
+
+    def test_constructor_seed_labels(self):
+        u = Universe(["a", "b", "a"])
+        assert len(u) == 2
+        assert u.encode("a") == 0
+
+    def test_decode_roundtrip(self):
+        u = Universe()
+        labels = ["rock", "jazz", ("tuple", "label"), 42]
+        ids = [u.encode(label) for label in labels]
+        assert [u.decode(i) for i in ids] == labels
+
+    def test_decode_unknown_raises(self):
+        u = Universe(["a"])
+        with pytest.raises(IndexError):
+            u.decode(5)
+
+    def test_decode_negative_raises(self):
+        u = Universe(["a"])
+        with pytest.raises(IndexError):
+            u.decode(-1)
+
+    def test_encode_set(self):
+        u = Universe()
+        encoded = u.encode_set(["b", "a", "b"])
+        assert encoded == frozenset({0, 1})
+
+    def test_decode_set(self):
+        u = Universe()
+        ids = u.encode_set(["x", "y"])
+        assert u.decode_set(ids) == frozenset({"x", "y"})
+
+    def test_lookup_does_not_assign(self):
+        u = Universe()
+        assert u.lookup("new") is None
+        assert len(u) == 0
+
+    def test_contains_and_iter(self):
+        u = Universe(["p", "q"])
+        assert "p" in u and "r" not in u
+        assert list(u) == ["p", "q"]
+
+    def test_table1_alphabet_example(self):
+        """The paper maps letters to integers in alphabetical order."""
+        u = Universe("abcdefgh")
+        assert u.encode("a") == 0
+        assert u.encode("h") == 7
+        assert u.encode_set("bdfg") == frozenset({1, 3, 5, 6})

@@ -1,0 +1,61 @@
+"""Tests for the independent join-result validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import set_containment_join
+from repro.core.validation import verify_join_result
+from repro.relations.relation import Relation
+from tests.conftest import random_relation
+
+
+class TestVerifyJoinResult:
+    def test_accepts_correct_output(self, small_pair):
+        r, s = small_pair
+        result = set_containment_join(r, s, algorithm="ptsj")
+        report = verify_join_result(r, s, result.pairs)
+        assert report.ok
+        assert report.checked_pairs == len(result.pair_set())
+        report.raise_on_failure()
+
+    def test_detects_false_positive(self):
+        r = Relation.from_sets([{1}])
+        s = Relation.from_sets([{2}])
+        report = verify_join_result(r, s, [(0, 0)])
+        assert not report.ok
+        assert report.false_positives == ((0, 0),)
+        with pytest.raises(AssertionError, match="false"):
+            report.raise_on_failure()
+
+    def test_detects_missing_pair_exhaustively(self):
+        r = Relation.from_sets([{1, 2}])
+        s = Relation.from_sets([{1}])
+        report = verify_join_result(r, s, [])
+        assert not report.ok
+        assert report.missing_pairs == ((0, 0),)
+
+    def test_sampled_mode_on_large_inputs(self):
+        r = random_relation(120, 6, 40, seed=900)
+        s = random_relation(120, 4, 40, seed=901)
+        result = set_containment_join(r, s, algorithm="pretti+")
+        report = verify_join_result(r, s, result.pairs, sample=500, seed=2)
+        assert report.ok
+        assert report.checked_candidates == 500
+
+    def test_sampled_mode_finds_planted_omission(self):
+        r = random_relation(80, 6, 30, seed=902)
+        s = random_relation(80, 4, 30, seed=903)
+        result = set_containment_join(r, s, algorithm="ptsj")
+        pairs = result.sorted_pairs()
+        assert pairs, "test needs a non-empty join"
+        # Drop one pair; with an exhaustive check it must be reported.
+        report = verify_join_result(r, s, pairs[1:], sample=None)
+        assert not report.ok
+        assert pairs[0] in report.missing_pairs
+
+    def test_empty_everything_is_ok(self):
+        empty = Relation([])
+        report = verify_join_result(empty, empty, [])
+        assert report.ok
+        assert report.checked_candidates == 0
