@@ -61,6 +61,6 @@ def test_ablation_future_shape(benchmark):
     for name, pairs in OUTPUTS.items():
         assert pairs == reference, name
     point = RESULTS[FIGURE][CONFIG.name]
-    # Chunked execution costs at most ~2x the monolithic run (it rebuilds
-    # the S index once per chunk; real speed-up needs real cores).
+    # Chunked execution costs at most ~2x the monolithic run (the S index
+    # is prepared once and shared; real speed-up needs real cores).
     assert point["parallel-ptsj (1 worker, 4 chunks)"] < 3.0 * point["ptsj"]

@@ -19,6 +19,13 @@ Quickstart::
     prefs = Relation.from_sets([{1, 3}, {1, 5, 6}, {0, 2, 7}])
     result = set_containment_join(profiles, prefs)   # picks PTSJ or PRETTI+
     print(sorted(result.pairs))                      # [(0, 0), (0, 1), (1, 2)]
+
+Probing the same indexed relation repeatedly?  Build once, probe many::
+
+    from repro import prepare_index
+
+    index = prepare_index(prefs)          # one build
+    result = index.probe_many(profiles)   # reuses it; index.probe(rec) streams
 """
 
 from repro.baselines import SHJ, TSJ, NestedLoopJoin, PRETTI
@@ -29,11 +36,13 @@ from repro.core import (
     PTSJ,
     JoinResult,
     JoinStats,
+    PreparedIndex,
     PRETTIPlus,
     SetContainmentJoin,
     available_algorithms,
     choose_algorithm_name,
     make_algorithm,
+    prepare_index,
     set_containment_join,
 )
 from repro.errors import (
@@ -67,11 +76,13 @@ __all__ = [
     "SetContainmentJoin",
     "JoinResult",
     "JoinStats",
+    "PreparedIndex",
     # registry
     "ALGORITHMS",
     "available_algorithms",
     "choose_algorithm_name",
     "make_algorithm",
+    "prepare_index",
     "set_containment_join",
     "ValidationReport",
     "verify_join_result",

@@ -2,7 +2,9 @@
 
 Compares every ``(r, s)`` pair directly with Python's frozenset ``>=``.
 Quadratic and index-free, so it is never competitive, but its output is
-trivially correct; every other algorithm's tests compare against it.
+trivially correct; every other algorithm's tests compare against it.  Its
+"prepared index" is simply the materialised record list of ``S``, which
+makes it the simplest illustration of the build-once/probe-many contract.
 
 One cheap, safe refinement is applied: a pair is skipped when
 ``|s.set| > |r.set|`` (a larger set cannot be contained in a smaller one),
@@ -11,10 +13,12 @@ which does not change the output.
 
 from __future__ import annotations
 
-from repro.core.base import JoinStats, SetContainmentJoin
-from repro.relations.relation import Relation
+from typing import Any, Iterator
 
-__all__ = ["NestedLoopJoin", "nested_loop_join_pairs"]
+from repro.core.base import JoinStats, PreparedIndex, SetContainmentJoin
+from repro.relations.relation import Relation, SetRecord
+
+__all__ = ["NestedLoopJoin", "NestedLoopPreparedIndex", "nested_loop_join_pairs"]
 
 
 def nested_loop_join_pairs(r: Relation, s: Relation) -> list[tuple[int, int]]:
@@ -30,20 +34,32 @@ def nested_loop_join_pairs(r: Relation, s: Relation) -> list[tuple[int, int]]:
     return pairs
 
 
+class NestedLoopPreparedIndex(PreparedIndex):
+    """The oracle's 'index': the S records themselves, scanned per probe."""
+
+    def __init__(self, records: tuple[SetRecord, ...], relation: Relation) -> None:
+        super().__init__("nested-loop", relation)
+        self._records = records
+
+    def probe(self, record: SetRecord, stats: JoinStats | None = None) -> Iterator[int]:
+        """Stream s-ids via one full scan, verifying every record exactly."""
+        stats = self._target(stats)
+        r_set = record.elements
+        r_card = len(r_set)
+        for s_rec in self._records:
+            stats.candidates += 1
+            stats.verifications += 1
+            if s_rec.cardinality <= r_card and s_rec.elements <= r_set:
+                yield s_rec.rid
+
+    def memory_objects(self, probe_relation: Relation | None = None) -> list[Any]:
+        return [self._records]
+
+
 class NestedLoopJoin(SetContainmentJoin):
     """Exhaustive nested-loop join (oracle baseline)."""
 
     name = "nested-loop"
 
-    def __init__(self) -> None:
-        self._s: Relation | None = None
-
-    def _build(self, r: Relation, s: Relation, stats: JoinStats) -> None:
-        self._s = s
-
-    def _probe(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
-        assert self._s is not None
-        pairs = nested_loop_join_pairs(r, self._s)
-        stats.verifications += len(r) * len(self._s)
-        stats.candidates += len(r) * len(self._s)
-        return pairs
+    def _prepare(self, s: Relation, probe_hint: Relation | None = None) -> NestedLoopPreparedIndex:
+        return NestedLoopPreparedIndex(tuple(s), s)

@@ -9,6 +9,12 @@ are joined with the whole list (Algorithm 3).  No verification step is
 needed — the candidate list is exact by construction — and results
 computed high in the trie are *reused* by all descendants.
 
+Only the prefix tree depends on ``S``: :meth:`PRETTI._prepare` builds it
+once into a :class:`PrettiPreparedIndex`, and the inverted file — pure
+probe-side state — is rebuilt per probe batch inside ``probe_many``.
+Single-record probes skip the inverted file entirely and walk the trie
+with plain set-membership tests, streaming matches as nodes are reached.
+
 Weaknesses the paper targets with PRETTI+ (Sec. II-B): the one-element-
 per-node trie explodes in memory for high set cardinality, and the trie
 height equals the set cardinality, so traversal cost grows with ``c``.
@@ -16,12 +22,79 @@ height equals the set cardinality, so traversal cost grows with ``c``.
 
 from __future__ import annotations
 
-from repro.core.base import JoinStats, SetContainmentJoin
+from typing import Any, Iterator
+
+from repro.core.base import JoinStats, PreparedIndex, SetContainmentJoin
 from repro.index.inverted import InvertedIndex
-from repro.relations.relation import Relation
+from repro.relations.relation import Relation, SetRecord
 from repro.tries.set_trie import SetTrie
 
-__all__ = ["PRETTI"]
+__all__ = ["PRETTI", "PrettiPreparedIndex"]
+
+
+class PrettiPreparedIndex(PreparedIndex):
+    """A prepared PRETTI prefix tree over ``S``.
+
+    Batch probes (:meth:`probe_many`) run the paper's Algorithm 3: build
+    an inverted file over the probe relation, then one DFS with a running
+    candidate list.  Single-record probes walk the trie directly, pruning
+    subtrees whose element is absent from the probe set.
+    """
+
+    def __init__(self, trie: SetTrie, relation: Relation) -> None:
+        super().__init__("pretti", relation)
+        self.trie = trie
+
+    def probe(self, record: SetRecord, stats: JoinStats | None = None) -> Iterator[int]:
+        """Stream s-ids whose set is contained in ``record``'s set.
+
+        A subtree is entered only when its element occurs in the probe set,
+        so the walk touches exactly the trie paths spelled by subsets of
+        the probe — no candidate lists, no intersections.
+        """
+        stats = self._target(stats)
+        elements = record.elements
+        stack = [self.trie.root]
+        while stack:
+            node = stack.pop()
+            stats.node_visits += 1
+            if node.tuples:
+                yield from node.tuples
+            for child in node.children.values():
+                if child.label in elements:
+                    stack.append(child)
+
+    def _probe_all(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
+        """One DFS over the trie (the paper's PRETTIJOIN, made iterative).
+
+        Branches whose candidate list empties are pruned: no descendant can
+        produce output because descendants only ever *shrink* the list.
+        """
+        index = InvertedIndex(r)
+        pairs: list[tuple[int, int]] = []
+        intersections_before = index.intersection_count
+        visits = 0
+        stack: list[tuple] = [(self.trie.root, index.all_ids)]
+        while stack:
+            node, current = stack.pop()
+            visits += 1
+            if node.tuples:
+                for s_id in node.tuples:
+                    for r_id in current:
+                        pairs.append((r_id, s_id))
+            for child in node.children.values():
+                child_list = index.refine(current, child.label)
+                if child_list:
+                    stack.append((child, child_list))
+        stats.node_visits += visits
+        stats.intersections += index.intersection_count - intersections_before
+        return pairs
+
+    def memory_objects(self, probe_relation: Relation | None = None) -> list[Any]:
+        objs: list[Any] = [self.trie]
+        if probe_relation is not None:
+            objs.append(InvertedIndex(probe_relation))
+        return objs
 
 
 class PRETTI(SetContainmentJoin):
@@ -39,39 +112,12 @@ class PRETTI(SetContainmentJoin):
 
     def __init__(self) -> None:
         self.trie: SetTrie | None = None
-        self.index: InvertedIndex | None = None
 
-    def _build(self, r: Relation, s: Relation, stats: JoinStats) -> None:
+    def _prepare(self, s: Relation, probe_hint: Relation | None = None) -> PrettiPreparedIndex:
         trie = SetTrie()
         for rec in s:
             trie.insert(rec.sorted_elements(), rec.rid)
         self.trie = trie
-        self.index = InvertedIndex(r)
-        stats.index_nodes = trie.node_count()
-
-    def _probe(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
-        """One DFS over the trie (the paper's PRETTIJOIN, made iterative).
-
-        Branches whose candidate list empties are pruned: no descendant can
-        produce output because descendants only ever *shrink* the list.
-        """
-        trie, index = self.trie, self.index
-        assert trie is not None and index is not None
-        pairs: list[tuple[int, int]] = []
-        intersections_before = index.intersection_count
-        visits = 0
-        stack: list[tuple] = [(trie.root, index.all_ids)]
-        while stack:
-            node, current = stack.pop()
-            visits += 1
-            if node.tuples:
-                for s_id in node.tuples:
-                    for r_id in current:
-                        pairs.append((r_id, s_id))
-            for child in node.children.values():
-                child_list = index.refine(current, child.label)
-                if child_list:
-                    stack.append((child, child_list))
-        stats.node_visits += visits
-        stats.intersections += index.intersection_count - intersections_before
-        return pairs
+        index = PrettiPreparedIndex(trie, s)
+        index.index_nodes = trie.node_count()
+        return index

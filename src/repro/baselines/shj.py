@@ -118,10 +118,12 @@ class SHJ(SignatureJoinBase):
         self.partial_bits = 0
         self.buckets: dict[int, list[_Entry]] = {}
 
-    def _choose_bits(self, r: Relation, s: Relation) -> int:
+    def _choose_bits(self, r: Relation | None, s: Relation) -> int:
         if self.requested_bits is not None:
             return self.requested_bits
-        cards = [rec.cardinality for rec in r] + [rec.cardinality for rec in s]
+        cards = [rec.cardinality for rec in s]
+        if r is not None:
+            cards += [rec.cardinality for rec in r]
         avg_c = max(sum(cards) / len(cards), 1.0) if cards else 1.0
         return optimal_shj_bits(avg_c)
 

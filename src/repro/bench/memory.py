@@ -18,7 +18,7 @@ from __future__ import annotations
 import sys
 from typing import Any
 
-from repro.core.base import JoinStats, SetContainmentJoin
+from repro.core.base import SetContainmentJoin
 from repro.core.registry import make_algorithm
 from repro.relations.relation import Relation
 
@@ -77,9 +77,9 @@ _INDEX_ATTRIBUTES: dict[str, tuple[str, ...]] = {
 def index_memory_bytes(algorithm: SetContainmentJoin) -> int:
     """Deep size of the index structures built by ``algorithm``.
 
-    The algorithm must have executed a join (or ``_build``) already so the
-    structures exist.  Unknown algorithms fall back to measuring the whole
-    instance.
+    The algorithm must have executed a ``join`` or ``prepare`` already so
+    the structures exist (0 otherwise).  Unknown algorithms fall back to
+    measuring the whole instance.
     """
     attributes = _INDEX_ATTRIBUTES.get(algorithm.name)
     if attributes is None:
@@ -96,13 +96,18 @@ def memory_per_tuple(name: str, r: Relation, s: Relation, **kwargs) -> float:
     """Build ``name``'s index for ``R ⋈⊇ S`` and report bytes per tuple.
 
     Matches Fig. 6a's metric: total index bytes divided by the number of
-    indexed tuples.  PRETTI/PRETTI+ index both relations (trie on ``S``,
-    inverted file on ``R``), so their divisor is ``|R| + |S|``; signature
-    algorithms index only ``S``.
+    indexed tuples, measured through the prepared index's
+    :meth:`~repro.core.base.PreparedIndex.memory_objects`.  PRETTI/PRETTI+
+    index both relations (trie on ``S``, inverted file on ``R``), so their
+    divisor is ``|R| + |S|``; signature algorithms index only ``S``
+    (trie-trie's probe-side R-trie is measured but, as probe-batch state,
+    not added to the divisor).
     """
     algorithm = make_algorithm(name, **kwargs)
-    algorithm._build(r, s, JoinStats(algorithm=name))
+    prepared = algorithm.prepare(s, probe_hint=r)
     divisor = len(s) + (len(r) if algorithm.name in ("pretti", "pretti+") else 0)
     if divisor == 0:
         return 0.0
-    return index_memory_bytes(algorithm) / divisor
+    seen: set[int] = set()
+    total = sum(deep_sizeof(obj, seen) for obj in prepared.memory_objects(r))
+    return total / divisor

@@ -5,6 +5,8 @@ Subcommands:
 * ``generate`` — write a synthetic or surrogate dataset to a text file;
 * ``stats`` — print Table III-style statistics of a dataset file;
 * ``join`` — run a set-containment join between two dataset files;
+* ``probe`` — build one index, then probe it with several query files
+  (the build-once/probe-many serving path);
 * ``bench`` — run one of the paper's experiments and print its figure.
 
 Examples::
@@ -13,6 +15,7 @@ Examples::
     repro-scj generate --dataset flickr --size 2000 -o flickr.txt
     repro-scj stats r.txt
     repro-scj join r.txt s.txt --algorithm ptsj
+    repro-scj probe s.txt queries1.txt queries2.txt --algorithm ptsj
     repro-scj bench fig6c
 """
 
@@ -23,7 +26,7 @@ import sys
 import time
 
 from repro.bench import experiments, harness, memory, reporting
-from repro.core.registry import available_algorithms, set_containment_join
+from repro.core.registry import available_algorithms, prepare_index, set_containment_join
 from repro.datagen.realworld import SURROGATE_SPECS, make_surrogate
 from repro.datagen.synthetic import SyntheticConfig, generate_relation
 from repro.errors import ReproError
@@ -73,6 +76,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="partition count (disk: tuples per partition "
                            "= |S| / partitions; psj/parallel: partitions)")
     join.add_argument("-o", "--output", help="write pairs to this file")
+
+    probe = sub.add_parser("probe",
+                           help="build an index over S once, probe it with "
+                                "each query file in turn")
+    probe.add_argument("s", help="indexed relation file (contained side)")
+    probe.add_argument("queries", nargs="+",
+                       help="probe relation files, each joined against the "
+                            "same prepared index")
+    probe.add_argument("--algorithm", default="auto",
+                       help=f"auto or one of: {', '.join(available_algorithms())}")
+    probe.add_argument("--bits", type=int, default=None,
+                       help="signature length override (signature algorithms)")
+    probe.add_argument("-o", "--output",
+                       help="write the pairs of every batch to this file")
 
     bench = sub.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
@@ -156,6 +173,36 @@ def _cmd_join(args: argparse.Namespace) -> int:
           f"verifications {st.verifications}, node visits {st.node_visits})")
     if args.output:
         write_join_result(result.pairs, args.output)
+        print(f"pairs written to {args.output}")
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    s = read_relation(args.s)
+    kwargs = {}
+    if args.bits is not None:
+        kwargs["bits"] = args.bits
+    index = prepare_index(s, algorithm=args.algorithm, **kwargs)
+    print(f"{index.algorithm}: prepared index over {len(index)} tuples in "
+          f"{reporting.fmt_seconds(index.build_seconds)} "
+          f"({index.index_nodes} nodes)")
+    all_pairs: list[tuple[int, int]] = []
+    for path in args.queries:
+        result = index.probe_many(read_relation(path))
+        st = result.stats
+        print(f"{path}: {len(result)} pairs in "
+              f"{reporting.fmt_seconds(st.probe_seconds)} "
+              f"(probe #{int(st.extras['probe_calls'])}, "
+              f"reused_index={int(st.extras['reused_index'])}, "
+              f"build {reporting.fmt_seconds(st.build_seconds)})")
+        all_pairs.extend(result.pairs)
+    totals = index.join_stats()
+    print(f"total: {totals.pairs} pairs, build "
+          f"{reporting.fmt_seconds(totals.build_seconds)} (once), probe "
+          f"{reporting.fmt_seconds(totals.probe_seconds)} over "
+          f"{index.probe_calls} batches")
+    if args.output:
+        write_join_result(all_pairs, args.output)
         print(f"pairs written to {args.output}")
     return 0
 
@@ -247,6 +294,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "stats": _cmd_stats,
         "join": _cmd_join,
+        "probe": _cmd_probe,
         "bench": _cmd_bench,
     }
     try:

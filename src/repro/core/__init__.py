@@ -1,7 +1,17 @@
 """The paper's primary contribution: PTSJ and PRETTI+, plus the join API."""
 
-from repro.core.base import CandidateGroup, JoinResult, JoinStats, SetContainmentJoin
-from repro.core.framework import SignatureJoinBase, insert_into_groups
+from repro.core.base import (
+    CandidateGroup,
+    JoinResult,
+    JoinStats,
+    PreparedIndex,
+    SetContainmentJoin,
+)
+from repro.core.framework import (
+    SignatureJoinBase,
+    SignaturePreparedIndex,
+    insert_into_groups,
+)
 from repro.core.pretti_plus import PRETTIPlus
 from repro.core.ptsj import PTSJ
 from repro.core.validation import ValidationReport, verify_join_result
@@ -10,6 +20,7 @@ from repro.core.registry import (
     available_algorithms,
     choose_algorithm_name,
     make_algorithm,
+    prepare_index,
     set_containment_join,
 )
 
@@ -17,8 +28,10 @@ __all__ = [
     "CandidateGroup",
     "JoinResult",
     "JoinStats",
+    "PreparedIndex",
     "SetContainmentJoin",
     "SignatureJoinBase",
+    "SignaturePreparedIndex",
     "insert_into_groups",
     "PTSJ",
     "PRETTIPlus",
@@ -26,6 +39,7 @@ __all__ = [
     "available_algorithms",
     "choose_algorithm_name",
     "make_algorithm",
+    "prepare_index",
     "set_containment_join",
     "ValidationReport",
     "verify_join_result",

@@ -1,4 +1,4 @@
-"""Join algorithm base classes, result and statistics types.
+"""Join algorithm base classes, prepared indexes, result and statistics types.
 
 Every join algorithm in this package — the paper's contributions (PTSJ,
 PRETTI+) and the baselines (SHJ, PRETTI, TSJ, nested loop) — implements the
@@ -7,10 +7,22 @@ then *probe* it once per tuple of ``R``, emitting the pairs of
 
     R ⋈⊇ S = {(r, s) | r ∈ R, s ∈ S, r.set ⊇ s.set}
 
-:class:`SetContainmentJoin` is the template: it times the two phases and
-assembles a :class:`JoinResult` whose :class:`JoinStats` carries the
-counters the paper's evaluation discusses (candidate verifications, trie
-node visits, index-build share of runtime — Sec. V-A3).
+Since the two phases are independent, the index is a first-class object:
+:meth:`SetContainmentJoin.prepare` builds a :class:`PreparedIndex` over
+``S`` once, and the index then serves any number of probes —
+:meth:`PreparedIndex.probe` streams the matches of a single record and
+:meth:`PreparedIndex.probe_many` joins a whole probe relation.  The classic
+one-shot :meth:`SetContainmentJoin.join` is exactly ``prepare`` followed by
+one ``probe_many``; a server answering "which indexed sets does this query
+contain?" keeps the :class:`PreparedIndex` alive instead and amortises the
+build over millions of probes (the serving scenario the paper's Sec. III-E
+index-reuse discussion anticipates).
+
+:class:`JoinStats` carries the counters the paper's evaluation discusses
+(candidate verifications, trie node visits, index-build share of runtime —
+Sec. V-A3).  ``build_seconds`` is paid once per :meth:`prepare`;
+``probe_seconds`` accumulates per probe, and the ``probe_calls`` /
+``reused_index`` extras let benchmarks tell amortised runs from cold ones.
 """
 
 from __future__ import annotations
@@ -18,10 +30,17 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Any, Iterator
 
-from repro.relations.relation import Relation
+from repro.relations.relation import Relation, SetRecord
 
-__all__ = ["CandidateGroup", "JoinStats", "JoinResult", "SetContainmentJoin"]
+__all__ = [
+    "CandidateGroup",
+    "JoinStats",
+    "JoinResult",
+    "PreparedIndex",
+    "SetContainmentJoin",
+]
 
 
 class CandidateGroup:
@@ -53,7 +72,8 @@ class JoinStats:
 
     Attributes:
         algorithm: Registry name of the algorithm that produced the result.
-        build_seconds: Index-construction wall time.
+        build_seconds: Index-construction wall time.  Zero whenever the
+            result was served from an already-prepared index.
         probe_seconds: Probe/traversal wall time (includes verification).
         pairs: Number of output pairs.
         candidates: Candidate *groups* that reached exact set verification
@@ -67,6 +87,9 @@ class JoinStats:
         index_nodes: Node count of the built index structure.
         signature_bits: Signature length used (0 for IR-based algorithms).
         extras: Algorithm-specific counters (e.g. SHJ submask enumerations).
+            Prepared-index probes also record ``probe_calls`` (how many
+            batches this index has served, including the current one) and
+            ``reused_index`` (1 when the index existed before this call).
     """
 
     algorithm: str = ""
@@ -137,43 +160,219 @@ class JoinResult:
         return f"<JoinResult {self.stats.algorithm} pairs={len(self.pairs)}>"
 
 
+class PreparedIndex(ABC):
+    """An index over one relation ``S``, built once and probed many times.
+
+    Obtained from :meth:`SetContainmentJoin.prepare` (or the registry's
+    ``prepare_index``).  The index is self-contained: it survives further
+    ``prepare`` calls on the algorithm that created it, can be shipped to
+    worker processes (fork-shared or pickled), and keeps cumulative
+    statistics across every probe it serves.
+
+    Subclasses implement :meth:`probe` (stream one record's matches) and
+    may override :meth:`_probe_all` when batch probing has better-than-
+    per-record structure (PRETTI's single trie traversal with an inverted
+    file over the whole probe relation).
+
+    Attributes:
+        algorithm: Registry name of the algorithm that built the index.
+        relation: The indexed relation ``S``.
+        build_seconds: One-time construction wall time (set by ``prepare``).
+        index_nodes: Node count of the index structure.
+        signature_bits: Signature length (0 for IR-based indexes).
+        build_extras: Static build-time descriptors (e.g. SHJ's
+            ``partial_bits``), copied into every probe's stats.
+    """
+
+    def __init__(self, algorithm: str, relation: Relation) -> None:
+        self.algorithm = algorithm
+        self.relation = relation
+        self.build_seconds = 0.0
+        self.index_nodes = 0
+        self.signature_bits = 0
+        self.build_extras: dict[str, float] = {}
+        self._probe_calls = 0
+        self._probe_records = 0
+        self._cumulative = JoinStats(algorithm=algorithm)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def probe(self, record: SetRecord, stats: JoinStats | None = None) -> Iterator[int]:
+        """Stream the ids of indexed tuples whose set is ⊆ ``record``'s set.
+
+        A generator: matches are yielded as they are found, and abandoning
+        the iterator early skips the remaining enumeration/verification
+        work, so huge outputs can be consumed incrementally.  Counters go
+        to ``stats`` when given, else to this index's cumulative stats.
+        """
+
+    def probe_many(self, r: Relation) -> JoinResult:
+        """Join a whole probe relation against this index.
+
+        Performs *no* index construction: the returned stats always report
+        ``build_seconds == 0.0``, with ``extras["probe_calls"]`` counting
+        the batches served so far and ``extras["reused_index"]`` set to 1
+        from the second batch on.
+        """
+        stats = self._new_probe_stats()
+        start = time.perf_counter()
+        pairs = self._probe_all(r, stats)
+        stats.probe_seconds = time.perf_counter() - start
+        self._probe_calls += 1
+        self._probe_records += len(r)
+        stats.extras["probe_calls"] = self._probe_calls
+        stats.extras["reused_index"] = 0 if self._probe_calls == 1 else 1
+        result = JoinResult(pairs, stats)
+        self._accumulate(stats)
+        return result
+
+    def _probe_all(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
+        """Default batch probe: one streaming :meth:`probe` per record."""
+        pairs: list[tuple[int, int]] = []
+        append = pairs.append
+        for rec in r:
+            r_id = rec.rid
+            for s_id in self.probe(rec, stats):
+                append((r_id, s_id))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def _new_probe_stats(self) -> JoinStats:
+        stats = JoinStats(
+            algorithm=self.algorithm,
+            index_nodes=self.index_nodes,
+            signature_bits=self.signature_bits,
+        )
+        stats.extras.update(self.build_extras)
+        return stats
+
+    def _target(self, stats: JoinStats | None) -> JoinStats:
+        """Resolve the stats object a raw :meth:`probe` should write to."""
+        if stats is None:
+            self._probe_records += 1
+            return self._cumulative
+        return stats
+
+    def _accumulate(self, stats: JoinStats) -> None:
+        cum = self._cumulative
+        cum.probe_seconds += stats.probe_seconds
+        cum.pairs += stats.pairs
+        cum.candidates += stats.candidates
+        cum.verifications += stats.verifications
+        cum.node_visits += stats.node_visits
+        cum.intersections += stats.intersections
+        for key, value in stats.extras.items():
+            if key in ("probe_calls", "reused_index") or key in self.build_extras:
+                continue
+            cum.extras[key] = cum.extras.get(key, 0) + value
+
+    def join_stats(self) -> JoinStats:
+        """Cumulative statistics over the index's whole lifetime.
+
+        ``build_seconds`` appears exactly once however many probes ran;
+        ``probe_seconds`` and all counters are summed across probes.
+        """
+        cum = self._cumulative
+        snap = JoinStats(
+            algorithm=self.algorithm,
+            build_seconds=self.build_seconds,
+            probe_seconds=cum.probe_seconds,
+            candidates=cum.candidates,
+            verifications=cum.verifications,
+            node_visits=cum.node_visits,
+            intersections=cum.intersections,
+            index_nodes=self.index_nodes,
+            signature_bits=self.signature_bits,
+        )
+        snap.pairs = cum.pairs
+        snap.extras.update(self.build_extras)
+        snap.extras.update(cum.extras)
+        snap.extras["probe_calls"] = self._probe_calls
+        snap.extras["probe_records"] = self._probe_records
+        snap.extras["reused_index"] = 1 if self._probe_calls > 1 else 0
+        return snap
+
+    @property
+    def probe_calls(self) -> int:
+        """Number of :meth:`probe_many` batches served so far."""
+        return self._probe_calls
+
+    def __len__(self) -> int:
+        """Number of indexed tuples."""
+        return len(self.relation)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def memory_objects(self, probe_relation: Relation | None = None) -> list[Any]:
+        """The objects constituting this index, for memory measurement.
+
+        Algorithms that also need probe-side structures (PRETTI's inverted
+        file, trie-trie's R-trie) include them when ``probe_relation`` is
+        given, matching the paper's Fig. 6a accounting.
+        """
+        return [self]
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.algorithm} |S|={len(self.relation)} "
+            f"probes={self._probe_calls}>"
+        )
+
+
 class SetContainmentJoin(ABC):
     """Template for set-containment join algorithms.
 
-    Subclasses implement :meth:`_build` (index the relation ``S``) and
-    :meth:`_probe` (stream the relation ``R`` against the index, returning
-    output pairs); :meth:`join` wires them together with wall-clock timing.
+    Subclasses implement :meth:`_prepare` (index the relation ``S`` and
+    return a :class:`PreparedIndex`); :meth:`prepare` wires in wall-clock
+    timing and :meth:`join` composes ``prepare`` with one batch probe.
 
-    A single instance may be reused across joins; each :meth:`join` call
-    resets per-run state via :meth:`_build`.
+    A single instance may be reused: each :meth:`prepare`/:meth:`join` call
+    builds a fresh, independent index.
     """
 
     #: Registry name; subclasses override.
     name: str = "abstract"
 
-    def join(self, r: Relation, s: Relation) -> JoinResult:
-        """Compute ``R ⋈⊇ S`` and return pairs plus statistics."""
-        stats = JoinStats(algorithm=self.name)
-        start = time.perf_counter()
-        self._build(r, s, stats)
-        stats.build_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        pairs = self._probe(r, stats)
-        stats.probe_seconds = time.perf_counter() - start
-        return JoinResult(pairs, stats)
+    def prepare(self, s: Relation, probe_hint: Relation | None = None) -> PreparedIndex:
+        """Build a reusable index over ``s`` (the contained side).
 
-    @abstractmethod
-    def _build(self, r: Relation, s: Relation, stats: JoinStats) -> None:
-        """Build the index over ``s``.
-
-        ``r`` is available for parameter selection only (e.g. deriving the
-        signature length from global dataset statistics, Sec. III-D); the
-        index must not depend on R's content.
+        Args:
+            s: The relation to index.
+            probe_hint: Optional probe relation used for *parameter
+                selection only* (e.g. deriving the signature length from
+                global dataset statistics, Sec. III-D); the index never
+                depends on the probe side's content.  :meth:`join` passes
+                its ``r`` here so the one-shot path keeps the paper's exact
+                parameterisation.
         """
+        start = time.perf_counter()
+        index = self._prepare(s, probe_hint)
+        index.build_seconds = time.perf_counter() - start
+        return index
+
+    def join(self, r: Relation, s: Relation) -> JoinResult:
+        """Compute ``R ⋈⊇ S`` and return pairs plus statistics.
+
+        Exactly ``prepare(s)`` followed by one ``probe_many(r)``; the
+        returned stats carry the build time of the freshly-built index.
+        """
+        index = self.prepare(s, probe_hint=r)
+        result = index.probe_many(r)
+        result.stats.build_seconds = index.build_seconds
+        return result
 
     @abstractmethod
-    def _probe(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
-        """Probe the index with every tuple of ``r``; return output pairs."""
+    def _prepare(self, s: Relation, probe_hint: Relation | None) -> PreparedIndex:
+        """Build the index over ``s`` and return it.
+
+        ``probe_hint`` is available for parameter selection only; the index
+        must not depend on the probe relation's content.
+        """
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} ({self.name})>"

@@ -9,22 +9,28 @@ Patricia trie for PTSJ/Algorithm 5).
 
 :class:`SignatureJoinBase` is that skeleton.  Subclasses provide the index
 (:meth:`_build_index`) and the subset enumeration
-(:meth:`_enumerate_groups`); the shared :meth:`_probe` implements lines
-4–8 of Algorithm 1, including the merge-identical-sets output expansion
-(Sec. III-E1).
+(:meth:`_enumerate_groups`); the shared :class:`SignaturePreparedIndex`
+implements lines 4–8 of Algorithm 1 as a streaming per-record probe,
+including the merge-identical-sets output expansion (Sec. III-E1).
 """
 
 from __future__ import annotations
 
+import copy
 from abc import abstractmethod
-from typing import Iterable
+from typing import Any, Iterable, Iterator
 
-from repro.core.base import CandidateGroup, JoinStats, SetContainmentJoin
+from repro.core.base import (
+    CandidateGroup,
+    JoinStats,
+    PreparedIndex,
+    SetContainmentJoin,
+)
 from repro.relations.relation import Relation, SetRecord
 from repro.signatures.hashing import ModuloScheme, SignatureScheme
 from repro.signatures.length import SignatureLengthStrategy
 
-__all__ = ["SignatureJoinBase", "insert_into_groups"]
+__all__ = ["SignatureJoinBase", "SignaturePreparedIndex", "insert_into_groups"]
 
 
 def insert_into_groups(groups: list[CandidateGroup], record: SetRecord) -> None:
@@ -42,13 +48,63 @@ def insert_into_groups(groups: list[CandidateGroup], record: SetRecord) -> None:
     groups.append(CandidateGroup(record.elements, record.rid))
 
 
+class SignaturePreparedIndex(PreparedIndex):
+    """A prepared signature index: Algorithm 1's probe loop, streamed.
+
+    Holds a snapshot of the algorithm instance taken right after the build,
+    so the index stays valid even if the originating algorithm object later
+    prepares another index (each build rebinds fresh structures).
+    """
+
+    def __init__(self, algorithm: "SignatureJoinBase", relation: Relation) -> None:
+        super().__init__(algorithm.name, relation)
+        self._algorithm = algorithm
+
+    @property
+    def scheme(self) -> SignatureScheme:
+        """The signature hash scheme the index was built with."""
+        assert self._algorithm.scheme is not None
+        return self._algorithm.scheme
+
+    @property
+    def trie(self):
+        """The trie structure behind the index (``None`` for SHJ)."""
+        return getattr(self._algorithm, "trie", None)
+
+    def probe(self, record: SetRecord, stats: JoinStats | None = None) -> Iterator[int]:
+        """Algorithm 1 lines 4–8 for one probe tuple, yielding matches lazily.
+
+        Candidates are verified one group at a time, so consuming only the
+        first ``k`` matches runs only the verifications needed to reach
+        them.
+        """
+        stats = self._target(stats)
+        r_set = record.elements
+        r_sig = self.scheme.signature(r_set)
+        for groups in self._algorithm._enumerate_groups(r_sig, stats):
+            for group in groups:
+                stats.candidates += 1
+                stats.verifications += 1
+                if group.elements <= r_set:
+                    yield from group.ids
+
+    def memory_objects(self, probe_relation: Relation | None = None) -> list[Any]:
+        objs: list[Any] = []
+        for attr in ("trie", "buckets"):
+            value = getattr(self._algorithm, attr, None)
+            if value is not None:
+                objs.append(value)
+        return objs or [self._algorithm]
+
+
 class SignatureJoinBase(SetContainmentJoin):
     """Algorithm 1 with pluggable index and subset enumeration.
 
     Args:
         bits: Signature length; ``None`` selects it per dataset via
-            ``length_strategy`` (Sec. III-D) from the *combined* statistics
-            of R and S at :meth:`join` time.
+            ``length_strategy`` (Sec. III-D).  The one-shot :meth:`join`
+            path applies the strategy to the *combined* statistics of R and
+            S; ``prepare`` without a probe hint uses S's statistics alone.
         scheme_factory: Signature hash scheme constructor, default the
             paper's ``x mod b`` scheme.
         length_strategy: Used only when ``bits`` is ``None``.
@@ -68,18 +124,24 @@ class SignatureJoinBase(SetContainmentJoin):
     # ------------------------------------------------------------------
     # Parameter selection
     # ------------------------------------------------------------------
-    def _choose_bits(self, r: Relation, s: Relation) -> int:
-        """Resolve the signature length for this join.
+    def _choose_bits(self, r: Relation | None, s: Relation) -> int:
+        """Resolve the signature length for this index.
 
         Explicit ``bits`` wins; otherwise apply the Sec. III-D strategy to
-        the average cardinality and active-domain size of both relations.
+        the average cardinality and active-domain size of the relations at
+        hand — both sides when a probe hint is available (the paper's
+        global-statistics rule), the indexed side alone otherwise.
         """
         if self.requested_bits is not None:
             return self.requested_bits
-        cards = [rec.cardinality for rec in r] + [rec.cardinality for rec in s]
+        cards = [rec.cardinality for rec in s]
+        max_elem = s.max_element()
+        if r is not None:
+            cards += [rec.cardinality for rec in r]
+            max_elem = max(max_elem, r.max_element())
         total = sum(cards)
         avg_c = max(total / len(cards), 1.0) if cards else 1.0
-        domain = max(r.max_element(), s.max_element()) + 1
+        domain = max_elem + 1
         return self.length_strategy.choose(avg_c, max(domain, 1))
 
     # ------------------------------------------------------------------
@@ -100,26 +162,15 @@ class SignatureJoinBase(SetContainmentJoin):
     # ------------------------------------------------------------------
     # Template body
     # ------------------------------------------------------------------
-    def _build(self, r: Relation, s: Relation, stats: JoinStats) -> None:
-        bits = self._choose_bits(r, s)
-        stats.signature_bits = bits
+    def _prepare(self, s: Relation, probe_hint: Relation | None = None) -> PreparedIndex:
+        bits = self._choose_bits(probe_hint, s)
         self.scheme = self.scheme_factory(bits)
-        self._build_index(s, stats)
-
-    def _probe(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
-        """Algorithm 1 lines 4–8 over every probe tuple."""
-        assert self.scheme is not None, "join() must build before probing"
-        pairs: list[tuple[int, int]] = []
-        signature = self.scheme.signature
-        for rec in r:
-            r_sig = signature(rec.elements)
-            r_set = rec.elements
-            r_id = rec.rid
-            for groups in self._enumerate_groups(r_sig, stats):
-                for group in groups:
-                    stats.candidates += 1
-                    stats.verifications += 1
-                    if group.elements <= r_set:
-                        for s_id in group.ids:
-                            pairs.append((r_id, s_id))
-        return pairs
+        build_stats = JoinStats(algorithm=self.name)
+        self._build_index(s, build_stats)
+        # Snapshot the instance so later prepare() calls (which rebind fresh
+        # structures) cannot invalidate this index.
+        index = SignaturePreparedIndex(copy.copy(self), s)
+        index.signature_bits = bits
+        index.index_nodes = build_stats.index_nodes
+        index.build_extras = dict(build_stats.extras)
+        return index

@@ -12,48 +12,53 @@ Algorithm 8), whose nodes hold *runs* of elements.  Two effects:
   the inverted index have to be joined several times in each node"), so far
   fewer nodes are visited.
 
-Like PRETTI, the join is verification-free: the candidate list is exact.
-The paper's verdict (Sec. IV): "PRETTI+ is always a better choice than
-PRETTI", and it is the overall winner for low-cardinality datasets
-(Figs. 6c–6d, 7c, 8).
+As with PRETTI, only the trie depends on ``S``; :meth:`PRETTIPlus._prepare`
+builds it once into a :class:`PrettiPlusPreparedIndex`, and the inverted
+file over the probe relation is probe-batch state.  Like PRETTI, the join
+is verification-free: the candidate list is exact.  The paper's verdict
+(Sec. IV): "PRETTI+ is always a better choice than PRETTI", and it is the
+overall winner for low-cardinality datasets (Figs. 6c–6d, 7c, 8).
 """
 
 from __future__ import annotations
 
-from repro.core.base import JoinStats, SetContainmentJoin
+from typing import Any, Iterator
+
+from repro.core.base import JoinStats, PreparedIndex, SetContainmentJoin
 from repro.index.inverted import InvertedIndex
-from repro.relations.relation import Relation
+from repro.relations.relation import Relation, SetRecord
 from repro.tries.set_patricia import SetPatriciaTrie
 
-__all__ = ["PRETTIPlus"]
+__all__ = ["PRETTIPlus", "PrettiPlusPreparedIndex"]
 
 
-class PRETTIPlus(SetContainmentJoin):
-    """Patricia-trie PRETTI (the paper's PRETTI+).
+class PrettiPlusPreparedIndex(PreparedIndex):
+    """A prepared PRETTI+ Patricia trie over ``S``.
 
-    Example:
-        >>> from repro.relations import Relation
-        >>> profiles = Relation.from_sets([{1, 3, 5, 6}, {0, 2, 7}, {0, 2, 3}])
-        >>> prefs = Relation.from_sets([{1, 3}, {1, 5, 6}, {0, 2, 7}])
-        >>> sorted(PRETTIPlus().join(profiles, prefs).pairs)
-        [(0, 0), (0, 1), (1, 2)]
+    Batch probes replay PRETTI's traversal adapted to multi-element nodes;
+    single-record probes descend a child only when the probe set contains
+    the child's whole prefix run, streaming resident tuples on the way.
     """
 
-    name = "pretti+"
-
-    def __init__(self) -> None:
-        self.trie: SetPatriciaTrie | None = None
-        self.index: InvertedIndex | None = None
-
-    def _build(self, r: Relation, s: Relation, stats: JoinStats) -> None:
-        trie = SetPatriciaTrie()
-        for rec in s:
-            trie.insert(rec.sorted_elements(), rec.rid)
+    def __init__(self, trie: SetPatriciaTrie, relation: Relation) -> None:
+        super().__init__("pretti+", relation)
         self.trie = trie
-        self.index = InvertedIndex(r)
-        stats.index_nodes = trie.node_count()
 
-    def _probe(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
+    def probe(self, record: SetRecord, stats: JoinStats | None = None) -> Iterator[int]:
+        """Stream s-ids whose set is contained in ``record``'s set."""
+        stats = self._target(stats)
+        elements = record.elements
+        stack = [self.trie.root]
+        while stack:
+            node = stack.pop()
+            stats.node_visits += 1
+            if node.tuples:
+                yield from node.tuples
+            for child in node.children.values():
+                if all(element in elements for element in child.prefix):
+                    stack.append(child)
+
+    def _probe_all(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
         """PRETTI's traversal adapted to multi-element nodes.
 
         Entering a child costs one inverted-list intersection per element of
@@ -61,15 +66,14 @@ class PRETTIPlus(SetContainmentJoin):
         subtree is pruned without being visited) as soon as the candidate
         list empties, because descendants only ever shrink it further.
         """
-        trie, index = self.trie, self.index
-        assert trie is not None and index is not None
+        index = InvertedIndex(r)
         pairs: list[tuple[int, int]] = []
         intersections_before = index.intersection_count
         visits = 0
         # Stack entries carry the candidate list *after* the node's prefix
         # has been applied; the root's prefix is empty so it starts with all
         # R-ids (every R-tuple contains the empty prefix).
-        stack: list[tuple] = [(trie.root, index.all_ids)] if index.all_ids else []
+        stack: list[tuple] = [(self.trie.root, index.all_ids)] if index.all_ids else []
         while stack:
             node, current = stack.pop()
             visits += 1
@@ -89,12 +93,44 @@ class PRETTIPlus(SetContainmentJoin):
         stats.intersections += index.intersection_count - intersections_before
         return pairs
 
+    def memory_objects(self, probe_relation: Relation | None = None) -> list[Any]:
+        objs: list[Any] = [self.trie]
+        if probe_relation is not None:
+            objs.append(InvertedIndex(probe_relation))
+        return objs
+
+
+class PRETTIPlus(SetContainmentJoin):
+    """Patricia-trie PRETTI (the paper's PRETTI+).
+
+    Example:
+        >>> from repro.relations import Relation
+        >>> profiles = Relation.from_sets([{1, 3, 5, 6}, {0, 2, 7}, {0, 2, 3}])
+        >>> prefs = Relation.from_sets([{1, 3}, {1, 5, 6}, {0, 2, 7}])
+        >>> sorted(PRETTIPlus().join(profiles, prefs).pairs)
+        [(0, 0), (0, 1), (1, 2)]
+    """
+
+    name = "pretti+"
+
+    def __init__(self) -> None:
+        self.trie: SetPatriciaTrie | None = None
+
+    def _prepare(self, s: Relation, probe_hint: Relation | None = None) -> PrettiPlusPreparedIndex:
+        trie = SetPatriciaTrie()
+        for rec in s:
+            trie.insert(rec.sorted_elements(), rec.rid)
+        self.trie = trie
+        index = PrettiPlusPreparedIndex(trie, s)
+        index.index_nodes = trie.node_count()
+        return index
+
     def built_trie(self) -> SetPatriciaTrie:
-        """The Patricia trie built by the last :meth:`join`.
+        """The Patricia trie built by the last :meth:`join`/:meth:`prepare`.
 
         Raises:
-            RuntimeError: If no join has been executed yet.
+            RuntimeError: If no index has been built yet.
         """
         if self.trie is None:
-            raise RuntimeError("no index built yet; run join() first")
+            raise RuntimeError("no index built yet; run join() or prepare() first")
         return self.trie

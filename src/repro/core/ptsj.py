@@ -87,14 +87,15 @@ class PTSJ(SignatureJoinBase):
     # Index reuse (Sec. III-E2/E3 build on the same trie)
     # ------------------------------------------------------------------
     def built_trie(self) -> PatriciaTrie:
-        """The Patricia trie built by the last :meth:`join`.
+        """The Patricia trie built by the last :meth:`join`/:meth:`prepare`.
 
         The extensions of Sec. III-E (superset, equality and similarity
-        joins) reuse this index rather than building their own.
+        joins) reuse this index rather than building their own — see
+        ``PatriciaSetIndex.from_prepared`` for the prepared-index route.
 
         Raises:
-            RuntimeError: If no join has been executed yet.
+            RuntimeError: If no index has been built yet.
         """
         if self.trie is None:
-            raise RuntimeError("no index built yet; run join() first")
+            raise RuntimeError("no index built yet; run join() or prepare() first")
         return self.trie

@@ -16,7 +16,7 @@ from __future__ import annotations
 from importlib import import_module
 from typing import Callable
 
-from repro.core.base import JoinResult, SetContainmentJoin
+from repro.core.base import JoinResult, PreparedIndex, SetContainmentJoin
 from repro.errors import AlgorithmError
 from repro.relations.relation import Relation
 from repro.relations.stats import compute_stats
@@ -26,6 +26,7 @@ __all__ = [
     "make_algorithm",
     "available_algorithms",
     "set_containment_join",
+    "prepare_index",
     "choose_algorithm_name",
 ]
 
@@ -121,3 +122,45 @@ def set_containment_join(
     if name == "auto":
         name = choose_algorithm_name(s)
     return make_algorithm(name, **kwargs).join(r, s)
+
+
+def prepare_index(
+    s: Relation,
+    algorithm: str = "auto",
+    probe_hint: Relation | None = None,
+    **kwargs,
+) -> PreparedIndex:
+    """Build a reusable containment index over ``S`` — the probe-many API.
+
+    Prefer this over :func:`set_containment_join` whenever the same
+    indexed relation is probed more than once: the index is built exactly
+    once, and each :meth:`~repro.core.base.PreparedIndex.probe_many` call
+    (or streaming :meth:`~repro.core.base.PreparedIndex.probe`) reuses it.
+
+    Args:
+        s: The relation to index (contained side).
+        algorithm: ``"auto"`` (paper's regime rule on ``S``), or one of
+            :func:`available_algorithms` / their aliases.
+        probe_hint: Optional sample of the future probe workload; signature
+            algorithms use its cardinalities when sizing signatures, exactly
+            as the one-shot ``join(r, s)`` would.
+        **kwargs: Forwarded to the algorithm constructor.
+
+    Returns:
+        A :class:`~repro.core.base.PreparedIndex` over ``s``.
+
+    Raises:
+        AlgorithmError: For an unknown algorithm name.
+
+    Example:
+        >>> from repro.relations import Relation
+        >>> s = Relation.from_sets([{2}, {1, 3}, {4, 5}])
+        >>> index = prepare_index(s, algorithm="ptsj")
+        >>> r = Relation.from_sets([{1, 2, 3}, {2, 4}])
+        >>> sorted(index.probe_many(r).pairs)
+        [(0, 0), (0, 1), (1, 0)]
+    """
+    name = algorithm.strip().lower()
+    if name == "auto":
+        name = choose_algorithm_name(s)
+    return make_algorithm(name, **kwargs).prepare(s, probe_hint=probe_hint)

@@ -1,7 +1,7 @@
 """PTSJ extensions (paper Sec. III-E): one Patricia index, many joins."""
 
 from repro.extensions.equality import equality_join, equality_join_on_index
-from repro.extensions.set_index import PatriciaSetIndex
+from repro.extensions.set_index import PatriciaSetIndex, build_patricia_index
 from repro.extensions.set_trie_index import SetTrieIndex
 from repro.extensions.similarity import (
     jaccard_join,
@@ -13,6 +13,7 @@ from repro.extensions.superset import superset_join, superset_join_on_index
 
 __all__ = [
     "PatriciaSetIndex",
+    "build_patricia_index",
     "SetTrieIndex",
     "superset_join",
     "superset_join_on_index",

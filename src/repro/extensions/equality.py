@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 
 from repro.core.base import JoinResult, JoinStats
-from repro.extensions.set_index import PatriciaSetIndex
+from repro.extensions.set_index import PatriciaSetIndex, build_patricia_index
 from repro.relations.relation import Relation
 
 __all__ = ["equality_join", "equality_join_on_index"]
@@ -43,9 +43,7 @@ def equality_join(r: Relation, s: Relation, bits: int | None = None) -> JoinResu
         >>> sorted(equality_join(r, s).pairs)
         [(0, 0), (0, 2)]
     """
-    start = time.perf_counter()
-    index = PatriciaSetIndex(s, bits=bits)
-    build_seconds = time.perf_counter() - start
+    index, build_seconds = build_patricia_index(s, bits=bits)
     result = equality_join_on_index(r, index)
     result.stats.build_seconds = build_seconds
     result.stats.index_nodes = index.trie.node_count()

@@ -9,12 +9,16 @@ reusing one index for different purposes".
 :class:`PatriciaSetIndex` packages that: it owns the signature scheme, the
 trie, and the merged candidate groups, and exposes one probe method per
 query type.  The join wrappers in :mod:`repro.extensions` are thin loops
-over these probes.
+over these probes.  :meth:`PatriciaSetIndex.from_prepared` adopts the trie
+of a PTSJ :class:`~repro.core.base.PreparedIndex` *without rebuilding it* —
+the literal form of the paper's reuse argument — and
+:func:`build_patricia_index` is the shared build path of the one-shot join
+wrappers, routed through ``PTSJ.prepare``.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.core.base import CandidateGroup
 from repro.core.framework import insert_into_groups
@@ -24,7 +28,10 @@ from repro.signatures.hashing import ModuloScheme, SignatureScheme
 from repro.signatures.length import SignatureLengthStrategy
 from repro.tries.patricia import PatriciaTrie
 
-__all__ = ["PatriciaSetIndex"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.framework import SignaturePreparedIndex
+
+__all__ = ["PatriciaSetIndex", "build_patricia_index"]
 
 
 class PatriciaSetIndex:
@@ -64,6 +71,33 @@ class PatriciaSetIndex:
         signature = self.scheme.signature
         for rec in relation:
             insert_into_groups(self.trie.insert(signature(rec.elements)), rec)
+
+    @classmethod
+    def from_prepared(cls, prepared: "SignaturePreparedIndex") -> "PatriciaSetIndex":
+        """Adopt a PTSJ prepared index's trie — zero-copy index reuse.
+
+        The containment index built by ``PTSJ.prepare`` (or the registry's
+        ``prepare_index``) *is* a Patricia signature trie with merged
+        groups; this wraps it so the superset/equality/similarity probes of
+        Sec. III-E2/E3 run on the very same structure, no rebuild.
+
+        Raises:
+            AlgorithmError: If the prepared index does not carry a Patricia
+                trie (e.g. it came from SHJ or PRETTI).
+        """
+        trie = getattr(prepared, "trie", None)
+        scheme = getattr(prepared, "scheme", None)
+        if not isinstance(trie, PatriciaTrie) or scheme is None:
+            raise AlgorithmError(
+                f"cannot reuse a {prepared.algorithm!r} index: "
+                "only PTSJ prepared indexes expose a Patricia trie"
+            )
+        index = cls.__new__(cls)
+        index.scheme = scheme
+        index.trie = trie
+        index.relation = prepared.relation
+        index._size = len(prepared.relation)
+        return index
 
     @property
     def bits(self) -> int:
@@ -162,3 +196,25 @@ class PatriciaSetIndex:
                 set_dist = len(group.elements ^ query)
                 if set_dist <= threshold:
                     yield group, set_dist
+
+
+def build_patricia_index(
+    s: Relation, bits: int | None = None
+) -> tuple[PatriciaSetIndex, float]:
+    """Build a :class:`PatriciaSetIndex` via ``PTSJ.prepare`` and time it.
+
+    The shared build path of the one-shot join wrappers (superset,
+    equality, similarity): the containment algorithm prepares its index,
+    and the extension queries adopt it through :meth:`PatriciaSetIndex.
+    from_prepared`.  Returns ``(index, build_seconds)``.
+
+    Raises:
+        AlgorithmError: If the relation is empty and no explicit ``bits``
+            is given (no statistics to derive a length from).
+    """
+    if bits is None and len(s) == 0:
+        raise AlgorithmError("cannot derive a signature length from an empty relation")
+    from repro.core.ptsj import PTSJ
+
+    prepared = PTSJ(bits=bits).prepare(s)
+    return PatriciaSetIndex.from_prepared(prepared), prepared.build_seconds

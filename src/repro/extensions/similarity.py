@@ -18,7 +18,7 @@ import time
 
 from repro.core.base import JoinResult, JoinStats
 from repro.errors import AlgorithmError
-from repro.extensions.set_index import PatriciaSetIndex
+from repro.extensions.set_index import PatriciaSetIndex, build_patricia_index
 from repro.relations.relation import Relation
 
 __all__ = ["similarity_join", "similarity_join_on_index", "jaccard_join", "jaccard_join_on_index"]
@@ -101,9 +101,7 @@ def jaccard_join(
         >>> sorted(jaccard_join(r, s, threshold=0.7).pairs)
         [(0, 0), (0, 2)]
     """
-    start = time.perf_counter()
-    index = PatriciaSetIndex(s, bits=bits)
-    build_seconds = time.perf_counter() - start
+    index, build_seconds = build_patricia_index(s, bits=bits)
     result = jaccard_join_on_index(r, index, threshold)
     result.stats.build_seconds = build_seconds
     result.stats.index_nodes = index.trie.node_count()
@@ -122,9 +120,7 @@ def similarity_join(
         >>> sorted(similarity_join(r, s, threshold=2).pairs)
         [(0, 0), (0, 1)]
     """
-    start = time.perf_counter()
-    index = PatriciaSetIndex(s, bits=bits)
-    build_seconds = time.perf_counter() - start
+    index, build_seconds = build_patricia_index(s, bits=bits)
     result = similarity_join_on_index(r, index, threshold)
     result.stats.build_seconds = build_seconds
     result.stats.index_nodes = index.trie.node_count()

@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 
 from repro.core.base import JoinResult, JoinStats
-from repro.extensions.set_index import PatriciaSetIndex
+from repro.extensions.set_index import PatriciaSetIndex, build_patricia_index
 from repro.relations.relation import Relation
 
 __all__ = ["superset_join", "superset_join_on_index"]
@@ -49,9 +49,7 @@ def superset_join(r: Relation, s: Relation, bits: int | None = None) -> JoinResu
         >>> sorted(superset_join(r, s).pairs)
         [(0, 0), (1, 2)]
     """
-    stats_start = time.perf_counter()
-    index = PatriciaSetIndex(s, bits=bits)
-    build_seconds = time.perf_counter() - stats_start
+    index, build_seconds = build_patricia_index(s, bits=bits)
     result = superset_join_on_index(r, index)
     result.stats.build_seconds = build_seconds
     result.stats.index_nodes = index.trie.node_count()

@@ -3,18 +3,25 @@
 "Extending the algorithms to nontrivial multi-core ... settings will be
 essential when relation size goes beyond millions of tuples."
 
-This module provides the straightforward first step: split the probe
-relation ``R`` into chunks and run the chosen in-memory algorithm on each
-chunk in a separate worker process (the index over ``S`` is rebuilt per
-worker — embarrassingly parallel, no shared state).  Output equals the
-sequential join's because ``R ⋈⊇ S = ⋃_i (R_i ⋈⊇ S)``.
+This module provides the straightforward first step on top of the
+prepared-index split: the index over ``S`` is built **exactly once** in
+the parent, the probe relation ``R`` is split into chunks, and each
+worker process probes the shared index with its chunks.  Output equals
+the sequential join's because ``R ⋈⊇ S = ⋃_i (R_i ⋈⊇ S)``.
+
+Index sharing is zero-copy on POSIX: :class:`~concurrent.futures.
+ProcessPoolExecutor` forks, so workers inherit the parent's prepared
+index through copy-on-write pages via the pool *initializer*.  Under a
+``spawn`` start method (e.g. macOS/Windows defaults) the same initializer
+path still works, but the index is pickled to each worker once — still
+one *build*, never one build per worker or per chunk.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.core.base import JoinResult, JoinStats
+from repro.core.base import JoinResult, JoinStats, PreparedIndex
 from repro.core.registry import make_algorithm
 from repro.errors import AlgorithmError
 from repro.external.partition import partition_relation
@@ -22,11 +29,22 @@ from repro.relations.relation import Relation
 
 __all__ = ["ParallelJoin", "parallel_join"]
 
+#: The prepared index shared with worker processes.  Set once per worker by
+#: :func:`_init_worker` (inherited for free when the pool forks; transferred
+#: by pickle exactly once per worker under ``spawn``).
+_WORKER_INDEX: PreparedIndex | None = None
 
-def _run_chunk(args: tuple[str, dict, Relation, Relation]) -> tuple[list[tuple[int, int]], JoinStats]:
-    """Worker entry point (module-level so it pickles)."""
-    algorithm, kwargs, r_chunk, s = args
-    result = make_algorithm(algorithm, **kwargs).join(r_chunk, s)
+
+def _init_worker(index: PreparedIndex) -> None:
+    """Pool initializer: bind the parent's prepared index in this worker."""
+    global _WORKER_INDEX
+    _WORKER_INDEX = index
+
+
+def _probe_chunk(r_chunk: Relation) -> tuple[list[tuple[int, int]], JoinStats]:
+    """Worker entry point (module-level so it pickles): probe, never build."""
+    assert _WORKER_INDEX is not None, "worker pool initializer did not run"
+    result = _WORKER_INDEX.probe_many(r_chunk)
     return result.pairs, result.stats
 
 
@@ -34,10 +52,11 @@ class ParallelJoin:
     """Partition-parallel set-containment join over worker processes.
 
     Args:
-        algorithm: Registry name of the per-chunk in-memory algorithm.
-        workers: Worker process count (>= 1).  ``workers=1`` degenerates
-            to the sequential join in-process (no pool), which keeps tests
-            and small inputs cheap.
+        algorithm: Registry name of the in-memory algorithm whose prepared
+            index is shared by all workers.
+        workers: Worker process count (>= 1).  ``workers=1`` probes the
+            chunks in-process (no pool), which keeps tests and small
+            inputs cheap — the index is still prepared exactly once.
         chunks: Number of R-chunks; defaults to ``workers``.
         **algorithm_kwargs: Forwarded to the algorithm factory.
 
@@ -61,30 +80,49 @@ class ParallelJoin:
         self.chunks = chunks or workers
         self.algorithm_kwargs = algorithm_kwargs
 
+    def prepare(self, s: Relation, probe_hint: Relation | None = None) -> PreparedIndex:
+        """Build the one index every worker will share."""
+        return make_algorithm(self.algorithm, **self.algorithm_kwargs).prepare(
+            s, probe_hint=probe_hint
+        )
+
     def join(self, r: Relation, s: Relation) -> JoinResult:
-        """Compute ``R ⋈⊇ S`` across worker processes."""
+        """Compute ``R ⋈⊇ S``: one index build, parallel chunk probes."""
         stats = JoinStats(algorithm=f"parallel-{self.algorithm}")
         chunk_size = max(1, -(-len(r) // self.chunks)) if len(r) else 1
         r_chunks = partition_relation(r, chunk_size)
         stats.extras["workers"] = self.workers
         stats.extras["chunks"] = len(r_chunks)
 
-        tasks = [(self.algorithm, self.algorithm_kwargs, chunk, s) for chunk in r_chunks]
+        index = self.prepare(s, probe_hint=r)
+        stats.build_seconds = index.build_seconds
+        stats.signature_bits = index.signature_bits
+        stats.index_nodes = index.index_nodes
+        stats.extras["index_builds"] = 1
+
         pairs: list[tuple[int, int]] = []
         if self.workers == 1:
-            outcomes = map(_run_chunk, tasks)
+            outcomes = [
+                (res.pairs, res.stats)
+                for res in (index.probe_many(chunk) for chunk in r_chunks)
+            ]
         else:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                outcomes = list(pool.map(_run_chunk, tasks))
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(index,),
+            ) as pool:
+                outcomes = list(pool.map(_probe_chunk, r_chunks))
         for chunk_pairs, chunk_stats in outcomes:
             pairs.extend(chunk_pairs)
-            stats.build_seconds += chunk_stats.build_seconds
+            # Per-chunk stats are probe-only (probe_many reports zero build
+            # time), so summing cannot double-count the single build above.
             stats.probe_seconds += chunk_stats.probe_seconds
             stats.candidates += chunk_stats.candidates
             stats.verifications += chunk_stats.verifications
             stats.node_visits += chunk_stats.node_visits
             stats.intersections += chunk_stats.intersections
-            stats.signature_bits = max(stats.signature_bits, chunk_stats.signature_bits)
+            stats.index_nodes = max(stats.index_nodes, chunk_stats.index_nodes)
         return JoinResult(pairs, stats)
 
 

@@ -2,8 +2,9 @@
 
 The paper's conclusion proposes joining two tries directly instead of
 probing one trie once per tuple of the other relation.  This module
-implements that idea over binary signature tries: both relations are
-indexed, then a single simultaneous traversal finds every leaf pair
+implements that idea over binary signature tries: the indexed relation's
+trie is prepared once, each batch probe builds a trie over the probe
+relation, and a single simultaneous traversal finds every leaf pair
 ``(r_leaf, s_leaf)`` with ``s.sig ⊑ r.sig``.
 
 The traversal expands node *pairs* level by level:
@@ -15,73 +16,65 @@ The traversal expands node *pairs* level by level:
 Shared prefixes on *both* sides are therefore processed once — the
 amortisation the paper anticipates — at the cost of a worst-case
 quadratic pair frontier; the ablation benchmark measures where each side
-of that trade-off wins.
+of that trade-off wins.  Single-record probes skip the R-trie and fall
+back to an ordinary subset walk of the prepared S-trie.
 """
 
 from __future__ import annotations
 
-from repro.core.base import CandidateGroup, JoinResult, JoinStats, SetContainmentJoin
+from typing import Any, Iterator
+
+from repro.core.base import JoinStats, PreparedIndex, SetContainmentJoin
 from repro.core.framework import insert_into_groups
-from repro.relations.relation import Relation
+from repro.relations.relation import Relation, SetRecord
 from repro.signatures.hashing import ModuloScheme, SignatureScheme
 from repro.signatures.length import SignatureLengthStrategy
 from repro.tries.binary_trie import BinaryTrie, BinaryTrieNode
 
-__all__ = ["TrieTrieJoin"]
+__all__ = ["TrieTrieJoin", "TrieTriePreparedIndex"]
 
 
-class TrieTrieJoin(SetContainmentJoin):
-    """Set-containment join by simultaneous traversal of two binary tries.
+class TrieTriePreparedIndex(PreparedIndex):
+    """A prepared binary signature trie over ``S`` for trie-trie joins.
 
-    Args:
-        bits: Signature length; ``None`` applies the Sec. III-D strategy
-            (with a lower default ratio — deep tries cost more here, and
-            the pair frontier grows with width).
-        scheme_factory: Signature hash scheme.
+    Batch probes index the probe relation into its own trie and run the
+    simultaneous traversal; the R-trie is probe-batch state and is
+    discarded afterwards.
     """
 
-    name = "trie-trie"
+    def __init__(self, scheme: SignatureScheme, s_trie: BinaryTrie, relation: Relation) -> None:
+        super().__init__("trie-trie", relation)
+        self.scheme = scheme
+        self.s_trie = s_trie
 
-    def __init__(
-        self,
-        bits: int | None = None,
-        scheme_factory: type[SignatureScheme] = ModuloScheme,
-    ) -> None:
-        self.requested_bits = bits
-        self.scheme_factory = scheme_factory
-        self.scheme: SignatureScheme | None = None
-        self.r_trie: BinaryTrie | None = None
-        self.s_trie: BinaryTrie | None = None
-
-    def _choose_bits(self, r: Relation, s: Relation) -> int:
-        if self.requested_bits is not None:
-            return self.requested_bits
-        cards = [rec.cardinality for rec in r] + [rec.cardinality for rec in s]
-        avg_c = max(sum(cards) / len(cards), 1.0) if cards else 1.0
-        domain = max(r.max_element(), s.max_element()) + 1
-        # Quarter of PTSJ's default ratio: the pair frontier punishes depth.
-        return SignatureLengthStrategy(ratio=0.125).choose(avg_c, max(domain, 1))
-
-    def _build(self, r: Relation, s: Relation, stats: JoinStats) -> None:
-        bits = self._choose_bits(r, s)
-        stats.signature_bits = bits
-        self.scheme = self.scheme_factory(bits)
+    def _build_probe_trie(self, r: Relation) -> BinaryTrie:
+        r_trie = BinaryTrie(self.scheme.bits)
         signature = self.scheme.signature
-        self.r_trie = BinaryTrie(bits)
         for rec in r:
-            insert_into_groups(self.r_trie.insert(signature(rec.elements)), rec)
-        self.s_trie = BinaryTrie(bits)
-        for rec in s:
-            insert_into_groups(self.s_trie.insert(signature(rec.elements)), rec)
-        stats.index_nodes = self.r_trie.node_count() + self.s_trie.node_count()
+            insert_into_groups(r_trie.insert(signature(rec.elements)), rec)
+        return r_trie
 
-    def _probe(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
+    def probe(self, record: SetRecord, stats: JoinStats | None = None) -> Iterator[int]:
+        """Single-record fallback: a subset walk of the S-trie plus verify."""
+        stats = self._target(stats)
+        r_set = record.elements
+        leaves = self.s_trie.subset_leaves(self.scheme.signature(r_set))
+        stats.node_visits += self.s_trie.visits_last_query
+        for leaf in leaves:
+            for group in leaf.items:  # type: ignore[union-attr]
+                stats.candidates += 1
+                stats.verifications += 1
+                if group.elements <= r_set:
+                    yield from group.ids
+
+    def _probe_all(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
         """One simultaneous traversal emits all candidate leaf pairs."""
-        assert self.r_trie is not None and self.s_trie is not None
+        r_trie = self._build_probe_trie(r)
+        stats.index_nodes = r_trie.node_count() + self.s_trie.node_count()
         pairs: list[tuple[int, int]] = []
         visits = 0
         stack: list[tuple[BinaryTrieNode, BinaryTrieNode]] = [
-            (self.r_trie.root, self.s_trie.root)
+            (r_trie.root, self.s_trie.root)
         ]
         while stack:
             r_node, s_node = stack.pop()
@@ -109,6 +102,57 @@ class TrieTrieJoin(SetContainmentJoin):
         stats.node_visits += visits
         return pairs
 
-    def join(self, r: Relation, s: Relation) -> JoinResult:
-        """Compute ``R ⋈⊇ S`` (both sides are indexed; R is the query side)."""
-        return super().join(r, s)
+    def memory_objects(self, probe_relation: Relation | None = None) -> list[Any]:
+        objs: list[Any] = [self.s_trie]
+        if probe_relation is not None:
+            objs.append(self._build_probe_trie(probe_relation))
+        return objs
+
+
+class TrieTrieJoin(SetContainmentJoin):
+    """Set-containment join by simultaneous traversal of two binary tries.
+
+    Args:
+        bits: Signature length; ``None`` applies the Sec. III-D strategy
+            (with a lower default ratio — deep tries cost more here, and
+            the pair frontier grows with width).
+        scheme_factory: Signature hash scheme.
+    """
+
+    name = "trie-trie"
+
+    def __init__(
+        self,
+        bits: int | None = None,
+        scheme_factory: type[SignatureScheme] = ModuloScheme,
+    ) -> None:
+        self.requested_bits = bits
+        self.scheme_factory = scheme_factory
+        self.scheme: SignatureScheme | None = None
+        self.s_trie: BinaryTrie | None = None
+
+    def _choose_bits(self, r: Relation | None, s: Relation) -> int:
+        if self.requested_bits is not None:
+            return self.requested_bits
+        cards = [rec.cardinality for rec in s]
+        max_elem = s.max_element()
+        if r is not None:
+            cards += [rec.cardinality for rec in r]
+            max_elem = max(max_elem, r.max_element())
+        avg_c = max(sum(cards) / len(cards), 1.0) if cards else 1.0
+        domain = max_elem + 1
+        # Quarter of PTSJ's default ratio: the pair frontier punishes depth.
+        return SignatureLengthStrategy(ratio=0.125).choose(avg_c, max(domain, 1))
+
+    def _prepare(self, s: Relation, probe_hint: Relation | None = None) -> TrieTriePreparedIndex:
+        bits = self._choose_bits(probe_hint, s)
+        self.scheme = self.scheme_factory(bits)
+        signature = self.scheme.signature
+        s_trie = BinaryTrie(bits)
+        for rec in s:
+            insert_into_groups(s_trie.insert(signature(rec.elements)), rec)
+        self.s_trie = s_trie
+        index = TrieTriePreparedIndex(self.scheme, s_trie, s)
+        index.signature_bits = bits
+        index.index_nodes = s_trie.node_count()
+        return index

@@ -6,6 +6,11 @@ contains ``e``.  During the trie traversal, the running candidate list is
 intersected with one inverted list per trie element; intersections dominate
 PRETTI's running time, so this module provides an adaptive merge /
 galloping (exponential-search) intersection over sorted lists.
+
+Under the build-once/probe-many split the inverted file is *probe-batch
+state*, not part of the prepared index: each ``probe_many`` batch builds
+one inverted file over its own probe relation, while the S-side trie is
+built once and reused across batches.
 """
 
 from __future__ import annotations

@@ -93,6 +93,54 @@ class TestStatsAndJoin:
                      "--bits", "64"]) == 0
 
 
+class TestProbe:
+    @pytest.fixture
+    def probe_files(self, tmp_path):
+        s = tmp_path / "s.txt"
+        q1 = tmp_path / "q1.txt"
+        q2 = tmp_path / "q2.txt"
+        main(["generate", "--size", "40", "--cardinality", "4", "--domain",
+              "48", "--seed", "7", "-o", str(s)])
+        main(["generate", "--size", "25", "--cardinality", "7", "--domain",
+              "48", "--seed", "8", "-o", str(q1)])
+        main(["generate", "--size", "25", "--cardinality", "7", "--domain",
+              "48", "--seed", "9", "-o", str(q2)])
+        return s, q1, q2
+
+    def test_probe_builds_once_and_serves_both_batches(self, probe_files, capsys):
+        s, q1, q2 = probe_files
+        capsys.readouterr()
+        assert main(["probe", str(s), str(q1), str(q2),
+                     "--algorithm", "ptsj"]) == 0
+        out = capsys.readouterr().out
+        assert "prepared index over 40 tuples" in out
+        assert "probe #1, reused_index=0" in out
+        # The second probe reuses the index: zero build time reported.
+        assert "probe #2, reused_index=1, build 0us" in out
+        assert "build" in out and "(once)" in out
+
+    def test_probe_pairs_match_join(self, probe_files, tmp_path, capsys):
+        s, q1, _ = probe_files
+        probe_out = tmp_path / "probe_pairs.txt"
+        join_out = tmp_path / "join_pairs.txt"
+        assert main(["probe", str(s), str(q1), "--algorithm", "ptsj",
+                     "-o", str(probe_out)]) == 0
+        assert main(["join", str(q1), str(s), "--algorithm", "ptsj",
+                     "-o", str(join_out)]) == 0
+        assert probe_out.read_text() == join_out.read_text()
+
+    def test_probe_auto_algorithm(self, probe_files, capsys):
+        s, q1, q2 = probe_files
+        capsys.readouterr()
+        assert main(["probe", str(s), str(q1), str(q2)]) == 0
+        assert "prepared index" in capsys.readouterr().out
+
+    def test_probe_unknown_algorithm_errors(self, probe_files, capsys):
+        s, q1, _ = probe_files
+        assert main(["probe", str(s), str(q1), "--algorithm", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestBench:
     def test_fig6a_small(self, capsys):
         assert main(["bench", "fig6a", "--base", "32"]) == 0

@@ -156,6 +156,51 @@ class TestParallelJoin:
         assert len(result) == 0
 
 
+class TestParallelBuildOnce:
+    """The S-index is prepared exactly once, however many chunks/workers."""
+
+    def test_index_prepared_once_across_chunks(self, small_pair, monkeypatch):
+        from repro.core.ptsj import PTSJ
+
+        calls = {"n": 0}
+        original = PTSJ._prepare
+
+        def counting(self, s, probe_hint=None):
+            calls["n"] += 1
+            return original(self, s, probe_hint)
+
+        monkeypatch.setattr(PTSJ, "_prepare", counting)
+        r, s = small_pair
+        result = ParallelJoin(algorithm="ptsj", workers=1, chunks=4).join(r, s)
+        assert calls["n"] == 1
+        assert result.stats.extras["index_builds"] == 1
+        assert result.pair_set() == oracle_pairs(r, s)
+
+    def test_multi_worker_reports_single_build(self):
+        r = random_relation(40, 6, 40, seed=607)
+        s = random_relation(40, 4, 40, seed=608)
+        result = ParallelJoin(algorithm="ptsj", workers=2).join(r, s)
+        assert result.stats.extras["index_builds"] == 1
+        assert result.pair_set() == oracle_pairs(r, s)
+
+    def test_build_time_not_multiplied_by_chunks(self, small_pair):
+        """Aggregated build time equals the one prepare, not a per-chunk sum."""
+        r, s = small_pair
+        join = ParallelJoin(algorithm="ptsj", workers=1, chunks=4)
+        index = join.prepare(s, probe_hint=r)
+        assert index.build_seconds > 0.0
+        result = join.join(r, s)
+        # probe_many never reports build time, so the only build in the
+        # aggregate is the parent's single prepare.
+        assert result.stats.build_seconds > 0.0
+        assert result.stats.extras["chunks"] == 4
+
+    def test_prepare_returns_shareable_index(self, small_pair):
+        r, s = small_pair
+        index = ParallelJoin(algorithm="pretti+", workers=1).prepare(s)
+        assert index.probe_many(r).pair_set() == oracle_pairs(r, s)
+
+
 class TestMultiwayIntrospection:
     def test_node_count_grows_with_inserts(self):
         trie = MultiwayTrie(32)
