@@ -49,10 +49,14 @@ from repro.errors import (
     AlgorithmError,
     DataGenError,
     ExternalMemoryError,
+    InjectedFaultError,
+    JoinTimeoutError,
     RelationError,
     ReproError,
+    RetryExhaustedError,
     SignatureError,
     TrieError,
+    WorkerError,
 )
 from repro.relations import Relation, RelationStats, SetRecord, Universe, compute_stats
 
@@ -94,4 +98,8 @@ __all__ = [
     "DataGenError",
     "ExternalMemoryError",
     "AlgorithmError",
+    "WorkerError",
+    "JoinTimeoutError",
+    "RetryExhaustedError",
+    "InjectedFaultError",
 ]

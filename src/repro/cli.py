@@ -57,12 +57,21 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("-o", "--output", required=True, help="output path (set per line)")
 
+    def add_on_error(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--on-error", default="raise",
+                         choices=("raise", "skip", "collect"),
+                         help="malformed input lines: abort (raise, default), "
+                              "drop silently (skip), or drop and print a "
+                              "line-by-line skip report (collect)")
+
     stat = sub.add_parser("stats", help="print dataset statistics (Table III columns)")
     stat.add_argument("path", help="dataset file, one set per line")
+    add_on_error(stat)
 
     join = sub.add_parser("join", help="run a set-containment join R >= S")
     join.add_argument("r", help="probe relation file (containing side)")
     join.add_argument("s", help="indexed relation file (contained side)")
+    add_on_error(join)
     join.add_argument("--algorithm", default="auto",
                       help=f"auto or one of: {', '.join(available_algorithms())}")
     join.add_argument("--bits", type=int, default=None,
@@ -75,6 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--partitions", type=int, default=8,
                       help="partition count (disk: tuples per partition "
                            "= |S| / partitions; psj/parallel: partitions)")
+    join.add_argument("--retries", type=int, default=0,
+                      help="parallel strategy only: retry each failed probe "
+                           "chunk up to N times (enables the fault-tolerant "
+                           "executor; see docs/ROBUSTNESS.md)")
+    join.add_argument("--timeout-seconds", type=float, default=None,
+                      help="parallel strategy only: per-chunk wall-clock "
+                           "budget; over-budget chunks finish in-process "
+                           "(enables the fault-tolerant executor)")
+    join.add_argument("--no-fallback", action="store_true",
+                      help="parallel strategy only: raise instead of probing "
+                           "exhausted chunks in-process")
     join.add_argument("-o", "--output", help="write pairs to this file")
 
     probe = sub.add_parser("probe",
@@ -88,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"auto or one of: {', '.join(available_algorithms())}")
     probe.add_argument("--bits", type=int, default=None,
                        help="signature length override (signature algorithms)")
+    add_on_error(probe)
     probe.add_argument("-o", "--output",
                        help="write the pairs of every batch to this file")
 
@@ -124,8 +145,18 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_dataset(path: str, on_error: str):
+    """Read one dataset honouring ``--on-error``; print any skip report."""
+    if on_error == "collect":
+        relation, report = read_relation(path, on_error="collect")
+        if not report.ok:
+            print(report.summary(), file=sys.stderr)
+        return relation
+    return read_relation(path, on_error=on_error)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
-    stats = compute_stats(read_relation(args.path))
+    stats = compute_stats(_read_dataset(args.path, args.on_error))
     rows = [[key, value] for key, value in stats.as_table_row().items()]
     rows.append(["c min/max", f"{stats.min_cardinality}/{stats.max_cardinality}"])
     rows.append(["duplicate sets", stats.duplicate_sets])
@@ -135,8 +166,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
-    r = read_relation(args.r)
-    s = read_relation(args.s)
+    r = _read_dataset(args.r, args.on_error)
+    s = _read_dataset(args.s, args.on_error)
     kwargs = {}
     if args.bits is not None:
         kwargs["bits"] = args.bits
@@ -161,16 +192,41 @@ def _cmd_join(args: argparse.Namespace) -> int:
             result = psj_join(r, s, partitions=args.partitions,
                               algorithm=algorithm, **kwargs)
         else:
-            from repro.future.parallel import parallel_join
+            resilient = (args.retries > 0 or args.timeout_seconds is not None
+                         or args.no_fallback)
+            if resilient:
+                from repro.future.resilient import (
+                    ResilientParallelJoin,
+                    RetryPolicy,
+                )
 
-            result = parallel_join(r, s, algorithm=algorithm,
-                                   workers=args.partitions, **kwargs)
+                executor = ResilientParallelJoin(
+                    algorithm=algorithm,
+                    workers=args.partitions,
+                    retry_policy=RetryPolicy(max_attempts=max(1, args.retries + 1)),
+                    timeout_seconds=args.timeout_seconds,
+                    fallback=not args.no_fallback,
+                    **kwargs,
+                )
+                result = executor.join(r, s)
+            else:
+                from repro.future.parallel import parallel_join
+
+                result = parallel_join(r, s, algorithm=algorithm,
+                                       workers=args.partitions, **kwargs)
     elapsed = time.perf_counter() - start
     st = result.stats
     print(f"{st.algorithm}: {len(result)} pairs in {reporting.fmt_seconds(elapsed)} "
           f"(build {reporting.fmt_seconds(st.build_seconds)}, "
           f"probe {reporting.fmt_seconds(st.probe_seconds)}, "
           f"verifications {st.verifications}, node visits {st.node_visits})")
+    degradation = {key: int(st.extras[key])
+                   for key in ("retries", "timeouts", "fallback_chunks",
+                               "pool_restarts", "corrupt_chunks")
+                   if st.extras.get(key)}
+    if degradation:
+        print("degraded: " + ", ".join(f"{k}={v}" for k, v in degradation.items()),
+              file=sys.stderr)
     if args.output:
         write_join_result(result.pairs, args.output)
         print(f"pairs written to {args.output}")
@@ -178,7 +234,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 
 def _cmd_probe(args: argparse.Namespace) -> int:
-    s = read_relation(args.s)
+    s = _read_dataset(args.s, args.on_error)
     kwargs = {}
     if args.bits is not None:
         kwargs["bits"] = args.bits
@@ -188,7 +244,7 @@ def _cmd_probe(args: argparse.Namespace) -> int:
           f"({index.index_nodes} nodes)")
     all_pairs: list[tuple[int, int]] = []
     for path in args.queries:
-        result = index.probe_many(read_relation(path))
+        result = index.probe_many(_read_dataset(path, args.on_error))
         st = result.stats
         print(f"{path}: {len(result)} pairs in "
               f"{reporting.fmt_seconds(st.probe_seconds)} "

@@ -36,3 +36,27 @@ class ExternalMemoryError(ReproError):
 
 class AlgorithmError(ReproError):
     """Unknown algorithm name or invalid algorithm configuration."""
+
+
+class WorkerError(ReproError):
+    """A parallel-join worker failed (crashed, died, or returned bad data)."""
+
+
+class JoinTimeoutError(WorkerError):
+    """A probe chunk exceeded its ``timeout_seconds`` budget."""
+
+
+class RetryExhaustedError(WorkerError):
+    """Every retry attempt for a probe chunk failed and no fallback ran.
+
+    Attributes:
+        attempts: How many attempts were made before giving up.
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class InjectedFaultError(WorkerError):
+    """A deliberate failure raised by :mod:`repro.testing.faults` wrappers."""

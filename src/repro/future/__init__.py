@@ -6,10 +6,19 @@
   of two signature tries ("join algorithms such as trie-trie join").
 * :class:`~repro.future.parallel.ParallelJoin` — partition-parallel
   execution over worker processes ("nontrivial multi-core ... settings").
+* :class:`~repro.future.resilient.ResilientParallelJoin` — the same
+  partition parallelism with per-chunk retry, timeouts, pool re-creation
+  and an in-process fallback, so one bad worker degrades the join
+  instead of killing it (see ``docs/ROBUSTNESS.md``).
 """
 
 from repro.future.multiway import MWTSJ, MultiwayTrie
 from repro.future.parallel import ParallelJoin, parallel_join
+from repro.future.resilient import (
+    ResilientParallelJoin,
+    RetryPolicy,
+    resilient_parallel_join,
+)
 from repro.future.trie_trie import TrieTrieJoin
 
 __all__ = [
@@ -18,4 +27,7 @@ __all__ = [
     "TrieTrieJoin",
     "ParallelJoin",
     "parallel_join",
+    "ResilientParallelJoin",
+    "RetryPolicy",
+    "resilient_parallel_join",
 ]

@@ -15,10 +15,16 @@ index through copy-on-write pages via the pool *initializer*.  Under a
 ``spawn`` start method (e.g. macOS/Windows defaults) the same initializer
 path still works, but the index is pickled to each worker once — still
 one *build*, never one build per worker or per chunk.
+
+:class:`ParallelJoin` is the fail-fast executor: any worker failure
+aborts the join.  :class:`repro.future.resilient.ResilientParallelJoin`
+layers per-chunk retry, timeouts and an in-process fallback on top of
+the same chunking — see ``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.base import JoinResult, JoinStats, PreparedIndex
@@ -48,6 +54,21 @@ def _probe_chunk(r_chunk: Relation) -> tuple[list[tuple[int, int]], JoinStats]:
     return result.pairs, result.stats
 
 
+def merge_chunk_stats(stats: JoinStats, chunk_stats: JoinStats) -> None:
+    """Fold one chunk's probe-only stats into the join-level aggregate.
+
+    Per-chunk stats report zero build time (they come from ``probe_many``
+    on an already-prepared index), so summing cannot double-count the
+    parent's single build.
+    """
+    stats.probe_seconds += chunk_stats.probe_seconds
+    stats.candidates += chunk_stats.candidates
+    stats.verifications += chunk_stats.verifications
+    stats.node_visits += chunk_stats.node_visits
+    stats.intersections += chunk_stats.intersections
+    stats.index_nodes = max(stats.index_nodes, chunk_stats.index_nodes)
+
+
 class ParallelJoin:
     """Partition-parallel set-containment join over worker processes.
 
@@ -58,10 +79,14 @@ class ParallelJoin:
             chunks in-process (no pool), which keeps tests and small
             inputs cheap — the index is still prepared exactly once.
         chunks: Number of R-chunks; defaults to ``workers``.
+        start_method: Multiprocessing start method for the pool
+            (``"fork"``, ``"spawn"``, ``"forkserver"``); ``None`` uses the
+            platform default.
         **algorithm_kwargs: Forwarded to the algorithm factory.
 
     Raises:
-        AlgorithmError: On a non-positive worker or chunk count.
+        AlgorithmError: On a non-positive worker or chunk count, or an
+            unknown start method.
     """
 
     def __init__(
@@ -69,15 +94,22 @@ class ParallelJoin:
         algorithm: str = "ptsj",
         workers: int = 2,
         chunks: int | None = None,
+        start_method: str | None = None,
         **algorithm_kwargs,
     ) -> None:
         if workers <= 0:
             raise AlgorithmError(f"workers must be positive, got {workers}")
         if chunks is not None and chunks <= 0:
             raise AlgorithmError(f"chunks must be positive, got {chunks}")
+        if start_method is not None and start_method not in multiprocessing.get_all_start_methods():
+            raise AlgorithmError(
+                f"unknown start method {start_method!r}; available: "
+                f"{multiprocessing.get_all_start_methods()}"
+            )
         self.algorithm = algorithm
         self.workers = workers
         self.chunks = chunks or workers
+        self.start_method = start_method
         self.algorithm_kwargs = algorithm_kwargs
 
     def prepare(self, s: Relation, probe_hint: Relation | None = None) -> PreparedIndex:
@@ -86,13 +118,32 @@ class ParallelJoin:
             s, probe_hint=probe_hint
         )
 
-    def join(self, r: Relation, s: Relation) -> JoinResult:
-        """Compute ``R ⋈⊇ S``: one index build, parallel chunk probes."""
-        stats = JoinStats(algorithm=f"parallel-{self.algorithm}")
+    def _make_pool(self, index: PreparedIndex) -> ProcessPoolExecutor:
+        """Create the worker pool, every worker bound to ``index``."""
+        context = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method is not None
+            else None
+        )
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(index,),
+        )
+
+    def _partition(self, r: Relation, stats: JoinStats) -> list[Relation]:
+        """Split ``r`` into the configured number of chunks."""
         chunk_size = max(1, -(-len(r) // self.chunks)) if len(r) else 1
         r_chunks = partition_relation(r, chunk_size)
         stats.extras["workers"] = self.workers
         stats.extras["chunks"] = len(r_chunks)
+        return r_chunks
+
+    def join(self, r: Relation, s: Relation) -> JoinResult:
+        """Compute ``R ⋈⊇ S``: one index build, parallel chunk probes."""
+        stats = JoinStats(algorithm=f"parallel-{self.algorithm}")
+        r_chunks = self._partition(r, stats)
 
         index = self.prepare(s, probe_hint=r)
         stats.build_seconds = index.build_seconds
@@ -107,22 +158,11 @@ class ParallelJoin:
                 for res in (index.probe_many(chunk) for chunk in r_chunks)
             ]
         else:
-            with ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(index,),
-            ) as pool:
+            with self._make_pool(index) as pool:
                 outcomes = list(pool.map(_probe_chunk, r_chunks))
         for chunk_pairs, chunk_stats in outcomes:
             pairs.extend(chunk_pairs)
-            # Per-chunk stats are probe-only (probe_many reports zero build
-            # time), so summing cannot double-count the single build above.
-            stats.probe_seconds += chunk_stats.probe_seconds
-            stats.candidates += chunk_stats.candidates
-            stats.verifications += chunk_stats.verifications
-            stats.node_visits += chunk_stats.node_visits
-            stats.intersections += chunk_stats.intersections
-            stats.index_nodes = max(stats.index_nodes, chunk_stats.index_nodes)
+            merge_chunk_stats(stats, chunk_stats)
         return JoinResult(pairs, stats)
 
 

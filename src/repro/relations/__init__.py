@@ -11,6 +11,8 @@ Public surface:
 """
 
 from repro.relations.io import (
+    IngestReport,
+    SkippedLine,
     read_join_result,
     read_relation,
     read_relation_with_ids,
@@ -32,6 +34,8 @@ __all__ = [
     "densify",
     "relabel_by_frequency",
     "apply_universe",
+    "IngestReport",
+    "SkippedLine",
     "read_relation",
     "write_relation",
     "read_relation_with_ids",

@@ -10,10 +10,26 @@ Two formats are supported:
   not dense (e.g. after :meth:`Relation.filter_cardinality`).
 
 Both writers emit sorted elements so files are canonical and diff-friendly.
+
+Hardened ingestion
+------------------
+
+Real dataset files arrive with stray headers, truncated lines and
+editor droppings; by default one bad line aborts the whole read.  Every
+reader therefore takes an ``on_error`` mode:
+
+* ``"raise"`` (default) — abort with :class:`~repro.errors.RelationError`
+  carrying ``path:lineno`` context, exactly as before;
+* ``"skip"`` — drop malformed lines silently and keep the good ones;
+* ``"collect"`` — like ``"skip"``, but return a ``(value, report)`` pair
+  whose :class:`IngestReport` lists every skipped line with its number
+  and reason, so a million-line dataset is not discarded for one typo
+  *and* the damage stays observable.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, TextIO
 
@@ -21,11 +37,95 @@ from repro.errors import RelationError
 from repro.relations.relation import Relation, SetRecord
 
 __all__ = [
+    "SkippedLine",
+    "IngestReport",
     "write_relation",
     "read_relation",
     "write_relation_with_ids",
     "read_relation_with_ids",
+    "write_join_result",
+    "read_join_result",
 ]
+
+#: Valid ``on_error`` modes for the readers.
+_ON_ERROR_MODES = ("raise", "skip", "collect")
+
+
+@dataclass(frozen=True, slots=True)
+class SkippedLine:
+    """One malformed input line dropped during a lenient read.
+
+    Attributes:
+        lineno: 1-based line number in the source file.
+        reason: Why the line was rejected.
+        text: The offending line (truncated to 80 characters).
+    """
+
+    lineno: int
+    reason: str
+    text: str
+
+
+@dataclass(slots=True)
+class IngestReport:
+    """Structured outcome of reading one file leniently.
+
+    Attributes:
+        path: The file that was read.
+        total_lines: Lines seen in the file.
+        loaded: Records successfully parsed.
+        skipped: Every rejected line, in file order.
+    """
+
+    path: str
+    total_lines: int = 0
+    loaded: int = 0
+    skipped: list[SkippedLine] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no line was rejected."""
+        return not self.skipped
+
+    def summary(self, max_lines: int = 5) -> str:
+        """Human-readable digest: counts plus the first few skipped lines."""
+        head = (
+            f"{self.path}: loaded {self.loaded}/{self.total_lines} lines, "
+            f"skipped {len(self.skipped)}"
+        )
+        details = [
+            f"  line {bad.lineno}: {bad.reason} ({bad.text!r})"
+            for bad in self.skipped[:max_lines]
+        ]
+        if len(self.skipped) > max_lines:
+            details.append(f"  ... and {len(self.skipped) - max_lines} more")
+        return "\n".join([head, *details])
+
+
+class _LineSink:
+    """Shared error-routing for the readers: raise, skip, or collect."""
+
+    def __init__(self, path: str | Path, on_error: str) -> None:
+        if on_error not in _ON_ERROR_MODES:
+            raise RelationError(
+                f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
+            )
+        self.on_error = on_error
+        self.report = IngestReport(path=str(path))
+
+    def bad_line(self, lineno: int, reason: str, text: str) -> None:
+        """Record one malformed line, aborting in ``"raise"`` mode."""
+        if self.on_error == "raise":
+            raise RelationError(f"{self.report.path}:{lineno}: {reason}")
+        self.report.skipped.append(SkippedLine(lineno, reason, text[:80]))
+
+    def finish(self, value, total_lines: int, loaded: int):
+        """Return ``value`` or ``(value, report)`` per the chosen mode."""
+        self.report.total_lines = total_lines
+        self.report.loaded = loaded
+        if self.on_error == "collect":
+            return value, self.report
+        return value
 
 
 def _open_for_read(path: str | Path) -> TextIO:
@@ -40,24 +140,42 @@ def write_relation(relation: Relation, path: str | Path) -> None:
             out.write("\n")
 
 
-def read_relation(path: str | Path, name: str = "") -> Relation:
+def read_relation(path: str | Path, name: str = "", on_error: str = "raise"):
     """Read a set-per-line file; tuple ids are 0-based line numbers.
 
-    Blank lines denote empty sets (they are legal set values).
+    Blank lines denote empty sets (they are legal set values).  Skipped
+    lines keep their line number reserved, so surviving ids still match
+    the file's physical lines.
+
+    Args:
+        path: The file to read.
+        name: Relation name (defaults to the file stem).
+        on_error: ``"raise"`` aborts on the first malformed line,
+            ``"skip"`` drops malformed lines, ``"collect"`` drops them and
+            returns ``(relation, report)`` instead of just the relation.
 
     Raises:
-        RelationError: On a non-integer token.
+        RelationError: On a non-integer token (``"raise"`` mode) or an
+            unknown ``on_error`` mode.
     """
+    sink = _LineSink(path, on_error)
     records: list[SetRecord] = []
+    total = 0
     with _open_for_read(path) as src:
         for lineno, line in enumerate(src):
+            total += 1
             stripped = line.strip()
             try:
                 elements = frozenset(int(tok) for tok in stripped.split()) if stripped else frozenset()
-            except ValueError as exc:
-                raise RelationError(f"{path}:{lineno + 1}: non-integer element") from exc
-            records.append(SetRecord(lineno, elements))
-    return Relation(records, name=name or Path(path).stem)
+            except ValueError:
+                sink.bad_line(lineno + 1, "non-integer element", stripped)
+                continue
+            try:
+                records.append(SetRecord(lineno, elements))
+            except RelationError as exc:
+                sink.bad_line(lineno + 1, str(exc), stripped)
+    relation = Relation(records, name=name or Path(path).stem)
+    return sink.finish(relation, total, len(records))
 
 
 def write_relation_with_ids(relation: Relation, path: str | Path) -> None:
@@ -69,28 +187,51 @@ def write_relation_with_ids(relation: Relation, path: str | Path) -> None:
             out.write("\n")
 
 
-def read_relation_with_ids(path: str | Path, name: str = "") -> Relation:
+def read_relation_with_ids(path: str | Path, name: str = "", on_error: str = "raise"):
     """Read an ``rid: e1 e2 ...`` file, preserving the stored ids.
 
+    Args:
+        path: The file to read.
+        name: Relation name (defaults to the file stem).
+        on_error: ``"raise"`` aborts on the first malformed line,
+            ``"skip"`` drops malformed lines, ``"collect"`` drops them and
+            returns ``(relation, report)`` instead of just the relation.
+
     Raises:
-        RelationError: On a malformed line or duplicate id.
+        RelationError: On a malformed line or duplicate id (``"raise"``
+            mode) or an unknown ``on_error`` mode.
     """
+    sink = _LineSink(path, on_error)
     records: list[SetRecord] = []
+    seen: set[int] = set()
+    total = 0
     with _open_for_read(path) as src:
         for lineno, line in enumerate(src):
+            total += 1
             stripped = line.strip()
             if not stripped:
                 continue
             head, sep, tail = stripped.partition(":")
             if not sep:
-                raise RelationError(f"{path}:{lineno + 1}: missing 'rid:' prefix")
+                sink.bad_line(lineno + 1, "missing 'rid:' prefix", stripped)
+                continue
             try:
                 rid = int(head)
                 elements = frozenset(int(tok) for tok in tail.split())
-            except ValueError as exc:
-                raise RelationError(f"{path}:{lineno + 1}: non-integer token") from exc
-            records.append(SetRecord(rid, elements))
-    return Relation(records, name=name or Path(path).stem)
+            except ValueError:
+                sink.bad_line(lineno + 1, "non-integer token", stripped)
+                continue
+            if rid in seen:
+                sink.bad_line(lineno + 1, f"duplicate record id {rid}", stripped)
+                continue
+            try:
+                records.append(SetRecord(rid, elements))
+            except RelationError as exc:
+                sink.bad_line(lineno + 1, str(exc), stripped)
+                continue
+            seen.add(rid)
+    relation = Relation(records, name=name or Path(path).stem)
+    return sink.finish(relation, total, len(records))
 
 
 def write_join_result(pairs: Iterable[tuple[int, int]], path: str | Path) -> None:
@@ -100,16 +241,34 @@ def write_join_result(pairs: Iterable[tuple[int, int]], path: str | Path) -> Non
             out.write(f"{r_id} {s_id}\n")
 
 
-def read_join_result(path: str | Path) -> list[tuple[int, int]]:
-    """Read pairs written by :func:`write_join_result`."""
+def read_join_result(path: str | Path, on_error: str = "raise"):
+    """Read pairs written by :func:`write_join_result`.
+
+    Args:
+        path: The file to read.
+        on_error: ``"raise"`` aborts on the first malformed line,
+            ``"skip"`` drops malformed lines, ``"collect"`` drops them and
+            returns ``(pairs, report)`` instead of just the pairs.
+
+    Raises:
+        RelationError: On wrong arity or a non-integer id (``"raise"``
+            mode) or an unknown ``on_error`` mode.
+    """
+    sink = _LineSink(path, on_error)
     pairs: list[tuple[int, int]] = []
+    total = 0
     with _open_for_read(path) as src:
         for lineno, line in enumerate(src):
+            total += 1
             stripped = line.strip()
             if not stripped:
                 continue
             parts = stripped.split()
             if len(parts) != 2:
-                raise RelationError(f"{path}:{lineno + 1}: expected two ids per line")
-            pairs.append((int(parts[0]), int(parts[1])))
-    return pairs
+                sink.bad_line(lineno + 1, "expected two ids per line", stripped)
+                continue
+            try:
+                pairs.append((int(parts[0]), int(parts[1])))
+            except ValueError:
+                sink.bad_line(lineno + 1, "non-integer id", stripped)
+    return sink.finish(pairs, total, len(pairs))

@@ -1,0 +1,26 @@
+"""Deterministic test instrumentation for the repro package.
+
+:mod:`repro.testing.faults` wraps a :class:`~repro.core.base.PreparedIndex`
+with failure-injecting proxies (crash, hard death, hang, corrupt output)
+whose triggers fire a fixed number of times across *all* processes, so
+every recovery path of :class:`~repro.future.resilient.ResilientParallelJoin`
+can be exercised without flaky timing or randomness.
+"""
+
+from repro.testing.faults import (
+    CorruptingIndex,
+    CrashingIndex,
+    DyingIndex,
+    FaultTrigger,
+    FaultyIndex,
+    SleepingIndex,
+)
+
+__all__ = [
+    "FaultTrigger",
+    "FaultyIndex",
+    "CrashingIndex",
+    "DyingIndex",
+    "SleepingIndex",
+    "CorruptingIndex",
+]

@@ -1,0 +1,201 @@
+"""Deterministic fault injection for the parallel-join executors.
+
+The resilient executor's recovery paths (retry, pool restart, timeout
+fallback, corrupt-result rejection) all involve *worker processes*, so
+plain ``monkeypatch``-style injection cannot reach them — the fault has
+to travel with the prepared index into the worker.  This module provides
+picklable :class:`~repro.core.base.PreparedIndex` proxies that misbehave
+on command:
+
+* :class:`CrashingIndex` — raises
+  :class:`~repro.errors.InjectedFaultError` from ``probe_many``
+  (a recoverable worker exception);
+* :class:`DyingIndex` — kills its process with ``os._exit`` (hard worker
+  death, surfaces as ``BrokenProcessPool`` in the parent);
+* :class:`SleepingIndex` — sleeps through the probe (simulates a hang,
+  triggers the timeout path);
+* :class:`CorruptingIndex` — returns pairs referencing tuples that were
+  never probed (a lying worker).
+
+Determinism without shared memory: a :class:`FaultTrigger` claims flag
+*files* in a scratch directory with ``O_EXCL`` creation, so "fire
+exactly N times" holds across any mix of processes and start methods
+(``fork`` and ``spawn`` alike), and across the parent's own fallback
+probes.  A fault that has fired its quota becomes a no-op, which is what
+makes "crash on the first attempt, succeed on the retry" a *repeatable*
+scenario rather than a race.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.base import JoinResult, JoinStats, PreparedIndex
+from repro.errors import InjectedFaultError
+from repro.relations.relation import Relation, SetRecord
+
+__all__ = [
+    "FaultTrigger",
+    "FaultyIndex",
+    "CrashingIndex",
+    "DyingIndex",
+    "SleepingIndex",
+    "CorruptingIndex",
+]
+
+
+class FaultTrigger:
+    """Fire at most ``times`` times, across every process that asks.
+
+    Each firing atomically claims one flag file in ``state_dir`` (created
+    with ``O_EXCL``, so two processes can never claim the same slot).
+    Instances are picklable — they hold only paths — and survive both
+    ``fork`` and ``spawn`` worker transfer.
+
+    Args:
+        state_dir: Scratch directory for the flag files (created if
+            missing); use a per-test ``tmp_path``.
+        name: Distinguishes triggers sharing one directory.
+        times: Total firings allowed across all processes.
+    """
+
+    def __init__(self, state_dir: str | Path, name: str = "fault", times: int = 1) -> None:
+        self.state_dir = Path(state_dir)
+        self.name = name
+        self.times = times
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+
+    def _flag(self, slot: int) -> Path:
+        return self.state_dir / f"{self.name}.{slot}.fired"
+
+    def fire(self) -> bool:
+        """Claim the next slot; True while the quota is not yet spent."""
+        for slot in range(self.times):
+            try:
+                self._flag(slot).touch(exist_ok=False)
+                return True
+            except FileExistsError:
+                continue
+        return False
+
+    def fired(self) -> int:
+        """How many times this trigger has fired so far (any process)."""
+        return sum(1 for slot in range(self.times) if self._flag(slot).exists())
+
+    def reset(self) -> None:
+        """Forget all firings (idempotent)."""
+        for slot in range(self.times):
+            self._flag(slot).unlink(missing_ok=True)
+
+
+class FaultyIndex(PreparedIndex):
+    """Delegating proxy around a real prepared index.
+
+    Subclasses override :meth:`_interfere` (called before every
+    ``probe_many``) and/or :meth:`_tamper` (called on each result) to
+    inject their failure.  Everything else — probing, statistics,
+    introspection — defers to the wrapped index, so a fault whose trigger
+    is spent behaves bit-identically to the real thing.
+    """
+
+    def __init__(self, inner: PreparedIndex, trigger: FaultTrigger) -> None:
+        super().__init__(inner.algorithm, inner.relation)
+        self.inner = inner
+        self.trigger = trigger
+        self.build_seconds = inner.build_seconds
+        self.index_nodes = inner.index_nodes
+        self.signature_bits = inner.signature_bits
+        self.build_extras = dict(inner.build_extras)
+
+    def probe(self, record: SetRecord, stats: JoinStats | None = None) -> Iterator[int]:
+        return self.inner.probe(record, stats)
+
+    def probe_many(self, r: Relation) -> JoinResult:
+        self._interfere(r)
+        return self._tamper(self.inner.probe_many(r))
+
+    def _interfere(self, r: Relation) -> None:
+        """Hook: act before the real probe (raise, die, sleep...)."""
+
+    def _tamper(self, result: JoinResult) -> JoinResult:
+        """Hook: act on the real probe's result (corrupt it...)."""
+        return result
+
+    def join_stats(self) -> JoinStats:
+        return self.inner.join_stats()
+
+    def memory_objects(self, probe_relation: Relation | None = None):
+        return self.inner.memory_objects(probe_relation)
+
+
+class CrashingIndex(FaultyIndex):
+    """Raise :class:`~repro.errors.InjectedFaultError` while armed.
+
+    The exception propagates out of the worker as an ordinary task
+    failure — the recoverable kind the retry policy exists for.
+    """
+
+    def _interfere(self, r: Relation) -> None:
+        if self.trigger.fire():
+            raise InjectedFaultError(
+                f"injected crash probing {len(r)} records (pid {os.getpid()})"
+            )
+
+
+class DyingIndex(FaultyIndex):
+    """Kill the probing process outright while armed.
+
+    ``os._exit`` skips all cleanup, exactly like a segfault or an OOM
+    kill; a pool worker dying this way breaks the whole
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Never fires in
+    the parent process (``parent_pid``), so the in-process fallback and
+    ``workers=1`` runs survive it.
+    """
+
+    def __init__(
+        self, inner: PreparedIndex, trigger: FaultTrigger, exit_code: int = 3
+    ) -> None:
+        super().__init__(inner, trigger)
+        self.exit_code = exit_code
+        self.parent_pid = os.getpid()
+
+    def _interfere(self, r: Relation) -> None:
+        if os.getpid() != self.parent_pid and self.trigger.fire():
+            os._exit(self.exit_code)
+
+
+class SleepingIndex(FaultyIndex):
+    """Sleep before probing while armed (simulates a hung worker)."""
+
+    def __init__(
+        self, inner: PreparedIndex, trigger: FaultTrigger, sleep_seconds: float = 1.5
+    ) -> None:
+        super().__init__(inner, trigger)
+        self.sleep_seconds = sleep_seconds
+
+    def _interfere(self, r: Relation) -> None:
+        if self.trigger.fire():
+            time.sleep(self.sleep_seconds)
+
+
+class CorruptingIndex(FaultyIndex):
+    """Return pairs referencing a tuple that was never probed while armed.
+
+    Emulates a worker with scrambled state: the result *looks* healthy
+    (right shape, plausible ids) but joins tuples the chunk does not
+    contain — precisely what result validation must catch.
+    """
+
+    def __init__(
+        self, inner: PreparedIndex, trigger: FaultTrigger, alien_id: int = -1
+    ) -> None:
+        super().__init__(inner, trigger)
+        self.alien_id = alien_id
+
+    def _tamper(self, result: JoinResult) -> JoinResult:
+        if self.trigger.fire():
+            result.pairs.append((self.alien_id, self.alien_id))
+        return result

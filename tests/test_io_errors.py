@@ -1,0 +1,197 @@
+"""Malformed-input suite for the relation readers.
+
+Every reader must surface each failure kind as a
+:class:`~repro.errors.RelationError` with ``path:lineno`` context in
+``"raise"`` mode, drop exactly the bad lines in ``"skip"`` mode, and
+report them line-by-line in ``"collect"`` mode.  Hypothesis round-trip
+properties pin the write/read cycle of all three formats.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RelationError
+from repro.relations.io import (
+    IngestReport,
+    read_join_result,
+    read_relation,
+    read_relation_with_ids,
+    write_join_result,
+    write_relation,
+    write_relation_with_ids,
+)
+from repro.relations.relation import Relation
+
+
+class TestSetPerLineErrors:
+    def test_non_integer_token_raises_with_context(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("1 2\n3 oops 4\n")
+        with pytest.raises(RelationError, match=r"rel\.txt:2.*non-integer"):
+            read_relation(path)
+
+    def test_negative_element_rejected(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("1 -2\n")
+        with pytest.raises(RelationError, match=r"rel\.txt:1"):
+            read_relation(path)
+
+    def test_skip_drops_only_bad_lines(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("1 2\nbad line\n3\n")
+        rel = read_relation(path, on_error="skip")
+        assert len(rel) == 2
+        # Skipped lines keep their line number reserved: surviving ids
+        # still match physical file lines.
+        assert rel.ids() == (0, 2)
+
+    def test_collect_returns_relation_and_report(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("1 2\nbad line\n3\nx y\n")
+        rel, report = read_relation(path, on_error="collect")
+        assert isinstance(report, IngestReport)
+        assert len(rel) == 2
+        assert report.total_lines == 4
+        assert report.loaded == 2
+        assert [bad.lineno for bad in report.skipped] == [2, 4]
+        assert all("non-integer" in bad.reason for bad in report.skipped)
+        assert not report.ok
+
+    def test_collect_on_clean_file_reports_ok(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        write_relation(Relation.from_sets([{1, 2}, {3}]), path)
+        rel, report = read_relation(path, on_error="collect")
+        assert report.ok
+        assert report.loaded == 2
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("1\n")
+        with pytest.raises(RelationError, match="on_error"):
+            read_relation(path, on_error="ignore")
+
+    def test_report_summary_truncates(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("x\n" * 10)
+        _, report = read_relation(path, on_error="collect")
+        summary = report.summary(max_lines=3)
+        assert "skipped 10" in summary
+        assert "and 7 more" in summary
+
+
+class TestIdPrefixedErrors:
+    def test_missing_prefix_raises_with_context(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("1: 2\n3 4\n")
+        with pytest.raises(RelationError, match=r"rel\.txt:2.*rid"):
+            read_relation_with_ids(path)
+
+    def test_non_integer_id_raises_with_context(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("x: 1 2\n")
+        with pytest.raises(RelationError, match=r"rel\.txt:1.*non-integer"):
+            read_relation_with_ids(path)
+
+    def test_duplicate_id_raises(self, tmp_path):
+        """Regression: the docstring always promised this check."""
+        path = tmp_path / "rel.txt"
+        path.write_text("1: 2\n2: 3\n1: 4\n")
+        with pytest.raises(RelationError, match=r"rel\.txt:3.*duplicate record id 1"):
+            read_relation_with_ids(path)
+
+    def test_duplicate_id_skipped_keeps_first(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("1: 2\n1: 4\n")
+        rel = read_relation_with_ids(path, on_error="skip")
+        assert len(rel) == 1
+        assert rel.get(1).elements == frozenset({2})
+
+    def test_collect_reports_mixed_failures(self, tmp_path):
+        path = tmp_path / "rel.txt"
+        path.write_text("1: 2\nno prefix\n2: x\n1: 9\n3: 4\n")
+        rel, report = read_relation_with_ids(path, on_error="collect")
+        assert sorted(rel.ids()) == [1, 3]
+        reasons = {bad.lineno: bad.reason for bad in report.skipped}
+        assert "prefix" in reasons[2]
+        assert "non-integer" in reasons[3]
+        assert "duplicate" in reasons[4]
+
+
+class TestJoinResultErrors:
+    def test_wrong_arity_raises_with_context(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        path.write_text("1 2\n1 2 3\n")
+        with pytest.raises(RelationError, match=r"pairs\.txt:2.*two ids"):
+            read_join_result(path)
+
+    def test_non_integer_id_raises_relation_error(self, tmp_path):
+        """Regression: this used to escape as a raw ValueError."""
+        path = tmp_path / "pairs.txt"
+        path.write_text("1 x\n")
+        with pytest.raises(RelationError, match=r"pairs\.txt:1.*non-integer"):
+            read_join_result(path)
+
+    def test_skip_and_collect_modes(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        path.write_text("1 2\nbad\n3 4\n")
+        assert read_join_result(path, on_error="skip") == [(1, 2), (3, 4)]
+        pairs, report = read_join_result(path, on_error="collect")
+        assert pairs == [(1, 2), (3, 4)]
+        assert [bad.lineno for bad in report.skipped] == [2]
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties
+# ----------------------------------------------------------------------
+
+element_sets = st.frozensets(st.integers(min_value=0, max_value=500), max_size=8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sets=st.lists(element_sets, max_size=12))
+def test_set_per_line_roundtrip(tmp_path_factory, sets):
+    path = tmp_path_factory.mktemp("io") / "rel.txt"
+    rel = Relation.from_sets(sets)
+    write_relation(rel, path)
+    assert read_relation(path) == rel
+
+
+@settings(max_examples=40, deadline=None)
+@given(mapping=st.dictionaries(st.integers(min_value=0, max_value=10_000),
+                               element_sets, max_size=12))
+def test_id_prefixed_roundtrip(tmp_path_factory, mapping):
+    path = tmp_path_factory.mktemp("io") / "rel.txt"
+    rel = Relation.from_mapping(mapping)
+    write_relation_with_ids(rel, path)
+    back = read_relation_with_ids(path)
+    assert {rec.rid: rec.elements for rec in back} == mapping
+
+
+@settings(max_examples=40, deadline=None)
+@given(pairs=st.sets(st.tuples(st.integers(min_value=-50, max_value=50),
+                               st.integers(min_value=-50, max_value=50)),
+                     max_size=20))
+def test_join_result_roundtrip(tmp_path_factory, pairs):
+    path = tmp_path_factory.mktemp("io") / "pairs.txt"
+    write_join_result(pairs, path)
+    assert read_join_result(path) == sorted(pairs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sets=st.lists(element_sets, min_size=1, max_size=10),
+       junk=st.sampled_from(["definitely not numbers", "1 2 x", "-1 3", "nan"]))
+def test_lenient_read_recovers_all_good_lines(tmp_path_factory, sets, junk):
+    """Corrupting any one line never costs more than that line."""
+    path = tmp_path_factory.mktemp("io") / "rel.txt"
+    rel = Relation.from_sets(sets)
+    write_relation(rel, path)
+    lines = path.read_text().splitlines()
+    lines.insert(len(lines) // 2, junk)
+    path.write_text("\n".join(lines) + "\n")
+    recovered, report = read_relation(path, on_error="collect")
+    assert len(recovered) == len(sets)
+    assert len(report.skipped) == 1
+    assert {rec.elements for rec in recovered} == {rec.elements for rec in rel}
