@@ -58,6 +58,7 @@ from repro.errors import (
     TrieError,
     WorkerError,
 )
+from repro.obs import MetricsRegistry, NullTracer, Tracer, current_tracer, use
 from repro.relations import Relation, RelationStats, SetRecord, Universe, compute_stats
 
 __version__ = "1.0.0"
@@ -90,6 +91,12 @@ __all__ = [
     "set_containment_join",
     "ValidationReport",
     "verify_join_result",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "current_tracer",
+    "use",
     # errors
     "ReproError",
     "RelationError",

@@ -26,6 +26,7 @@ from typing import Any, Iterator
 
 from repro.core.base import JoinStats, PreparedIndex, SetContainmentJoin
 from repro.index.inverted import InvertedIndex
+from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation, SetRecord
 from repro.tries.set_trie import SetTrie
 
@@ -69,23 +70,37 @@ class PrettiPreparedIndex(PreparedIndex):
 
         Branches whose candidate list empties are pruned: no descendant can
         produce output because descendants only ever *shrink* the list.
+
+        Under an active tracer the two probe-side phases — building the
+        inverted file over ``R`` (``invert``) and the trie walk itself
+        (``traverse``) — are reported as child spans of ``probe``.
         """
-        index = InvertedIndex(r)
+        tracer = current_tracer()
+        with tracer.span("invert"):
+            index = InvertedIndex(r)
+            if tracer.enabled:
+                tracer.count("inverted_records", len(index.all_ids))
         pairs: list[tuple[int, int]] = []
         intersections_before = index.intersection_count
         visits = 0
-        stack: list[tuple] = [(self.trie.root, index.all_ids)]
-        while stack:
-            node, current = stack.pop()
-            visits += 1
-            if node.tuples:
-                for s_id in node.tuples:
-                    for r_id in current:
-                        pairs.append((r_id, s_id))
-            for child in node.children.values():
-                child_list = index.refine(current, child.label)
-                if child_list:
-                    stack.append((child, child_list))
+        with tracer.span("traverse"):
+            stack: list[tuple] = [(self.trie.root, index.all_ids)]
+            while stack:
+                node, current = stack.pop()
+                visits += 1
+                if node.tuples:
+                    for s_id in node.tuples:
+                        for r_id in current:
+                            pairs.append((r_id, s_id))
+                for child in node.children.values():
+                    child_list = index.refine(current, child.label)
+                    if child_list:
+                        stack.append((child, child_list))
+            if tracer.enabled:
+                tracer.count("node_visits", visits)
+                tracer.count(
+                    "intersections", index.intersection_count - intersections_before
+                )
         stats.node_visits += visits
         stats.intersections += index.intersection_count - intersections_before
         return pairs

@@ -19,6 +19,7 @@ from typing import Callable, Mapping, Sequence
 from repro.core.base import JoinResult, JoinStats
 from repro.core.registry import make_algorithm
 from repro.datagen.synthetic import SyntheticConfig, generate_pair
+from repro.obs.tracer import Tracer, use
 from repro.relations.relation import Relation
 
 __all__ = ["RunRecord", "run_algorithm", "dataset_pair", "sweep", "clear_dataset_cache"]
@@ -34,12 +35,16 @@ class RunRecord:
             index construction — the paper's reported metric (Sec. V-A4).
         stats: The :class:`JoinStats` of the median run.
         pairs: Output size.
+        phases: Per-phase wall-time breakdown of the median run
+            (``{"build": ..., "probe": ...}``, see ``docs/OBSERVABILITY.md``)
+            when the run was traced; ``None`` otherwise.
     """
 
     algorithm: str
     seconds: float
     stats: JoinStats
     pairs: int
+    phases: dict[str, float] | None = None
 
 
 def run_algorithm(
@@ -47,6 +52,7 @@ def run_algorithm(
     r: Relation,
     s: Relation,
     repeats: int = 1,
+    trace: bool = False,
     **kwargs,
 ) -> RunRecord:
     """Execute ``name`` on ``(r, s)`` ``repeats`` times; keep the median run.
@@ -54,16 +60,35 @@ def run_algorithm(
     The paper runs each algorithm ten times and reports the average while
     observing low variance; with pure Python the median over a small
     ``repeats`` is the steadier statistic.
+
+    Args:
+        trace: When True each run executes under its own
+            :class:`~repro.obs.Tracer` and the median run's top-level
+            phase breakdown lands in :attr:`RunRecord.phases` (the
+            tracing overhead is then part of the measured time, so leave
+            it off for paper-figure timings).
     """
-    runs: list[tuple[float, JoinResult]] = []
+    runs: list[tuple[float, JoinResult, Tracer | None]] = []
     for _ in range(max(repeats, 1)):
         algorithm = make_algorithm(name, **kwargs)
+        tracer = Tracer(name=name) if trace else None
         start = time.perf_counter()
-        result = algorithm.join(r, s)
-        runs.append((time.perf_counter() - start, result))
-    runs.sort(key=lambda pair: pair[0])
-    seconds, result = runs[len(runs) // 2]
-    return RunRecord(algorithm=name, seconds=seconds, stats=result.stats, pairs=len(result))
+        if tracer is not None:
+            with use(tracer):
+                result = algorithm.join(r, s)
+        else:
+            result = algorithm.join(r, s)
+        runs.append((time.perf_counter() - start, result, tracer))
+    runs.sort(key=lambda run: run[0])
+    seconds, result, tracer = runs[len(runs) // 2]
+    phases = tracer.phase_seconds() if tracer is not None else None
+    return RunRecord(
+        algorithm=name,
+        seconds=seconds,
+        stats=result.stats,
+        pairs=len(result),
+        phases=phases,
+    )
 
 
 _DATASET_CACHE: dict[SyntheticConfig, tuple[Relation, Relation]] = {}

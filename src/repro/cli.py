@@ -30,6 +30,15 @@ from repro.core.registry import available_algorithms, prepare_index, set_contain
 from repro.datagen.realworld import SURROGATE_SPECS, make_surrogate
 from repro.datagen.synthetic import SyntheticConfig, generate_relation
 from repro.errors import ReproError
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    PhaseProfiler,
+    Tracer,
+    render_tree,
+    use,
+    write_trace,
+)
 from repro.relations.io import read_relation, write_join_result, write_relation
 from repro.relations.stats import compute_stats
 
@@ -64,6 +73,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "drop silently (skip), or drop and print a "
                               "line-by-line skip report (collect)")
 
+    def add_observability(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--trace", metavar="FILE",
+                         help="run under a tracer, print the phase span "
+                              "tree, and write it to FILE as JSONL "
+                              "(see docs/OBSERVABILITY.md)")
+        cmd.add_argument("--metrics", action="store_true",
+                         help="collect a metrics registry (counters + "
+                              "timing histograms) for the run and print "
+                              "its snapshot")
+        cmd.add_argument("--profile", metavar="PHASE", action="append",
+                         default=None,
+                         help="cProfile the named span phase (e.g. probe, "
+                              "build); repeatable; prints the hot "
+                              "functions per phase")
+        cmd.add_argument("--trace-memory", action="store_true",
+                         help="sample tracemalloc peaks per span "
+                              "(implies tracing overhead)")
+
     stat = sub.add_parser("stats", help="print dataset statistics (Table III columns)")
     stat.add_argument("path", help="dataset file, one set per line")
     add_on_error(stat)
@@ -96,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="parallel strategy only: raise instead of probing "
                            "exhausted chunks in-process")
     join.add_argument("-o", "--output", help="write pairs to this file")
+    add_observability(join)
 
     probe = sub.add_parser("probe",
                            help="build an index over S once, probe it with "
@@ -111,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_on_error(probe)
     probe.add_argument("-o", "--output",
                        help="write the pairs of every batch to this file")
+    add_observability(probe)
 
     bench = sub.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
@@ -165,6 +194,47 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_tracer(args: argparse.Namespace) -> Tracer | NullTracer:
+    """Build the tracer the ``--trace``/``--metrics``/``--profile`` flags ask for."""
+    wants_tracing = (
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", False)
+        or getattr(args, "profile", None)
+        or getattr(args, "trace_memory", False)
+    )
+    if not wants_tracing:
+        return NullTracer()
+    return Tracer(
+        name="repro-scj",
+        registry=MetricsRegistry() if args.metrics else None,
+        sample_memory=args.trace_memory,
+        profiler=PhaseProfiler(args.profile) if args.profile else None,
+    )
+
+
+def _report_observability(args: argparse.Namespace, tracer: Tracer | NullTracer,
+                          meta: dict | None = None) -> None:
+    """Print/write whatever the observability flags requested."""
+    if not tracer.enabled:
+        return
+    tracer.finish()
+    print()
+    print("phase breakdown:")
+    print(render_tree(tracer.root))
+    if args.trace:
+        write_trace(args.trace, tracer.root, meta=meta)
+        print(f"trace written to {args.trace}")
+    if tracer.registry is not None:
+        rows = sorted(tracer.registry.snapshot().items())
+        print(reporting.format_table(["metric", "value"],
+                                     [[name, f"{value:g}"] for name, value in rows],
+                                     title="metrics"))
+    if tracer.profiler is not None:
+        for phase in tracer.profiler.profiled_phases():
+            print(f"--- profile: {phase} ---")
+            print(tracer.profiler.summary(phase))
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     r = _read_dataset(args.r, args.on_error)
     s = _read_dataset(args.s, args.on_error)
@@ -172,7 +242,36 @@ def _cmd_join(args: argparse.Namespace) -> int:
     if args.bits is not None:
         kwargs["bits"] = args.bits
     algorithm = args.algorithm
+    tracer = _make_tracer(args)
     start = time.perf_counter()
+    with use(tracer):
+        result = _run_join_strategy(args, r, s, algorithm, kwargs)
+    elapsed = time.perf_counter() - start
+    st = result.stats
+    if tracer.registry is not None:
+        st.snapshot_registry(tracer.registry)
+    print(f"{st.algorithm}: {len(result)} pairs in {reporting.fmt_seconds(elapsed)} "
+          f"(build {reporting.fmt_seconds(st.build_seconds)}, "
+          f"probe {reporting.fmt_seconds(st.probe_seconds)}, "
+          f"verifications {st.verifications}, node visits {st.node_visits})")
+    degradation = {key: int(st.extras[key])
+                   for key in ("retries", "timeouts", "fallback_chunks",
+                               "pool_restarts", "corrupt_chunks")
+                   if st.extras.get(key)}
+    if degradation:
+        print("degraded: " + ", ".join(f"{k}={v}" for k, v in degradation.items()),
+              file=sys.stderr)
+    _report_observability(args, tracer,
+                          meta={"algorithm": st.algorithm, "r": args.r, "s": args.s,
+                                "strategy": args.strategy})
+    if args.output:
+        write_join_result(result.pairs, args.output)
+        print(f"pairs written to {args.output}")
+    return 0
+
+
+def _run_join_strategy(args: argparse.Namespace, r, s, algorithm: str, kwargs: dict):
+    """Dispatch one join per ``--strategy`` (runs under the active tracer)."""
     if args.strategy == "memory":
         result = set_containment_join(r, s, algorithm=algorithm, **kwargs)
     else:
@@ -214,23 +313,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
                 result = parallel_join(r, s, algorithm=algorithm,
                                        workers=args.partitions, **kwargs)
-    elapsed = time.perf_counter() - start
-    st = result.stats
-    print(f"{st.algorithm}: {len(result)} pairs in {reporting.fmt_seconds(elapsed)} "
-          f"(build {reporting.fmt_seconds(st.build_seconds)}, "
-          f"probe {reporting.fmt_seconds(st.probe_seconds)}, "
-          f"verifications {st.verifications}, node visits {st.node_visits})")
-    degradation = {key: int(st.extras[key])
-                   for key in ("retries", "timeouts", "fallback_chunks",
-                               "pool_restarts", "corrupt_chunks")
-                   if st.extras.get(key)}
-    if degradation:
-        print("degraded: " + ", ".join(f"{k}={v}" for k, v in degradation.items()),
-              file=sys.stderr)
-    if args.output:
-        write_join_result(result.pairs, args.output)
-        print(f"pairs written to {args.output}")
-    return 0
+    return result
 
 
 def _cmd_probe(args: argparse.Namespace) -> int:
@@ -238,25 +321,32 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.bits is not None:
         kwargs["bits"] = args.bits
-    index = prepare_index(s, algorithm=args.algorithm, **kwargs)
-    print(f"{index.algorithm}: prepared index over {len(index)} tuples in "
-          f"{reporting.fmt_seconds(index.build_seconds)} "
-          f"({index.index_nodes} nodes)")
+    tracer = _make_tracer(args)
     all_pairs: list[tuple[int, int]] = []
-    for path in args.queries:
-        result = index.probe_many(_read_dataset(path, args.on_error))
-        st = result.stats
-        print(f"{path}: {len(result)} pairs in "
-              f"{reporting.fmt_seconds(st.probe_seconds)} "
-              f"(probe #{int(st.extras['probe_calls'])}, "
-              f"reused_index={int(st.extras['reused_index'])}, "
-              f"build {reporting.fmt_seconds(st.build_seconds)})")
-        all_pairs.extend(result.pairs)
+    with use(tracer):
+        index = prepare_index(s, algorithm=args.algorithm, **kwargs)
+        print(f"{index.algorithm}: prepared index over {len(index)} tuples in "
+              f"{reporting.fmt_seconds(index.build_seconds)} "
+              f"({index.index_nodes} nodes)")
+        for path in args.queries:
+            result = index.probe_many(_read_dataset(path, args.on_error))
+            st = result.stats
+            print(f"{path}: {len(result)} pairs in "
+                  f"{reporting.fmt_seconds(st.probe_seconds)} "
+                  f"(probe #{int(st.extras['probe_calls'])}, "
+                  f"reused_index={int(st.extras['reused_index'])}, "
+                  f"build {reporting.fmt_seconds(st.build_seconds)})")
+            all_pairs.extend(result.pairs)
     totals = index.join_stats()
+    if tracer.registry is not None:
+        totals.snapshot_registry(tracer.registry)
     print(f"total: {totals.pairs} pairs, build "
           f"{reporting.fmt_seconds(totals.build_seconds)} (once), probe "
           f"{reporting.fmt_seconds(totals.probe_seconds)} over "
           f"{index.probe_calls} batches")
+    _report_observability(args, tracer,
+                          meta={"algorithm": index.algorithm, "s": args.s,
+                                "queries": list(args.queries)})
     if args.output:
         write_join_result(all_pairs, args.output)
         print(f"pairs written to {args.output}")

@@ -23,6 +23,14 @@ index-reuse discussion anticipates).
 Sec. V-A3).  ``build_seconds`` is paid once per :meth:`prepare`;
 ``probe_seconds`` accumulates per probe, and the ``probe_calls`` /
 ``reused_index`` extras let benchmarks tell amortised runs from cold ones.
+
+Both phases are observable: ``prepare`` runs under a ``build`` span and
+``probe_many`` under a ``probe`` span of the current
+:mod:`repro.obs` tracer, so activating a :class:`~repro.obs.Tracer`
+around any join yields the paper's per-phase breakdown (with
+algorithm-specific sub-phases such as ``signature_filter``/``verify``
+nested inside ``probe``).  The default :class:`~repro.obs.NullTracer`
+makes every span a no-op, keeping the un-traced path unchanged.
 """
 
 from __future__ import annotations
@@ -32,6 +40,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation, SetRecord
 
 __all__ = [
@@ -133,6 +143,18 @@ class JoinStats:
             return 1.0
         return min(1.0, self.pairs / self.verifications)
 
+    def snapshot_registry(
+        self, registry: MetricsRegistry, prefix: str = "metric."
+    ) -> None:
+        """Copy a metrics-registry snapshot into :attr:`extras`.
+
+        The registry is the general mechanism (any component can register
+        counters/gauges/histograms); this snapshot makes one run's view of
+        it travel with the stats, so the named counters above are just the
+        built-in instances of the same machinery.
+        """
+        registry.snapshot_into(self.extras, prefix=prefix)
+
 
 class JoinResult:
     """The output pairs of one join plus its :class:`JoinStats`.
@@ -224,9 +246,20 @@ class PreparedIndex(ABC):
         from the second batch on.
         """
         stats = self._new_probe_stats()
-        start = time.perf_counter()
-        pairs = self._probe_all(r, stats)
-        stats.probe_seconds = time.perf_counter() - start
+        tracer = current_tracer()
+        with tracer.span("probe"):
+            start = time.perf_counter()
+            pairs = self._probe_all(r, stats)
+            stats.probe_seconds = time.perf_counter() - start
+            if tracer.enabled:
+                tracer.count("probe_batches")
+                tracer.count("probe_records", len(r))
+                tracer.count("pairs", len(pairs))
+                tracer.count("candidates", stats.candidates)
+                tracer.count("verifications", stats.verifications)
+                tracer.count("node_visits", stats.node_visits)
+                tracer.count("intersections", stats.intersections)
+                tracer.observe("probe_seconds", stats.probe_seconds)
         self._probe_calls += 1
         self._probe_records += len(r)
         stats.extras["probe_calls"] = self._probe_calls
@@ -357,9 +390,16 @@ class SetContainmentJoin(ABC):
                 its ``r`` here so the one-shot path keeps the paper's exact
                 parameterisation.
         """
-        start = time.perf_counter()
-        index = self._prepare(s, probe_hint)
-        index.build_seconds = time.perf_counter() - start
+        tracer = current_tracer()
+        with tracer.span("build"):
+            start = time.perf_counter()
+            index = self._prepare(s, probe_hint)
+            index.build_seconds = time.perf_counter() - start
+            if tracer.enabled:
+                tracer.count("index_builds")
+                tracer.count("indexed_records", len(s))
+                tracer.count("index_nodes", index.index_nodes)
+                tracer.observe("build_seconds", index.build_seconds)
         return index
 
     def join(self, r: Relation, s: Relation) -> JoinResult:

@@ -17,6 +17,7 @@ including the merge-identical-sets output expansion (Sec. III-E1).
 from __future__ import annotations
 
 import copy
+import time
 from abc import abstractmethod
 from typing import Any, Iterable, Iterator
 
@@ -26,6 +27,7 @@ from repro.core.base import (
     PreparedIndex,
     SetContainmentJoin,
 )
+from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation, SetRecord
 from repro.signatures.hashing import ModuloScheme, SignatureScheme
 from repro.signatures.length import SignatureLengthStrategy
@@ -87,6 +89,75 @@ class SignaturePreparedIndex(PreparedIndex):
                 stats.verifications += 1
                 if group.elements <= r_set:
                     yield from group.ids
+
+    def _probe_all(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
+        """Batch probe; when a tracer is active, split filter from verify.
+
+        The paper's Sec. III-C cost model separates the subset-enumeration
+        cost (``V·|R|`` node visits) from the verification cost
+        (``N·|R|`` exact set comparisons); under an active tracer this
+        override times the two aggregates separately and reports them as
+        ``signature_filter`` / ``verify`` child spans of ``probe``.  The
+        un-traced path takes the base class's streaming loop untouched —
+        both paths emit identical pairs (in the same order) and identical
+        counters, which ``tests/test_differential.py`` locks in.
+        """
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return super()._probe_all(r, stats)
+        perf = time.perf_counter
+        signature = self.scheme.signature
+        enumerate_groups = self._algorithm._enumerate_groups
+        candidates_before = stats.candidates
+        visits_before = stats.node_visits
+        filter_seconds = 0.0
+        verify_seconds = 0.0
+        leaf_hits = 0
+        pairs: list[tuple[int, int]] = []
+        append = pairs.append
+        for rec in r:
+            r_set = rec.elements
+            r_id = rec.rid
+            t0 = perf()
+            group_lists = list(enumerate_groups(signature(r_set), stats))
+            t1 = perf()
+            filter_seconds += t1 - t0
+            leaf_hits += len(group_lists)
+            for groups in group_lists:
+                for group in groups:
+                    stats.candidates += 1
+                    stats.verifications += 1
+                    if group.elements <= r_set:
+                        for s_id in group.ids:
+                            append((r_id, s_id))
+            verify_seconds += perf() - t1
+        # mirror=False: the enclosing probe span already counts these
+        # quantities into the registry; these records only attribute the
+        # per-phase breakdown inside the span tree.
+        tracer.record(
+            "signature_filter",
+            filter_seconds,
+            {
+                "node_visits": stats.node_visits - visits_before,
+                "leaf_hits": leaf_hits,
+            },
+            calls=len(r),
+            mirror=False,
+        )
+        tracer.record(
+            "verify",
+            verify_seconds,
+            {
+                "candidates": stats.candidates - candidates_before,
+                "pairs": len(pairs),
+            },
+            calls=len(r),
+            mirror=False,
+        )
+        if tracer.registry is not None:
+            # leaf_hits has no other registry source.
+            tracer.registry.counter("leaf_hits").inc(leaf_hits)
+        return pairs
 
     def memory_objects(self, probe_relation: Relation | None = None) -> list[Any]:
         objs: list[Any] = []

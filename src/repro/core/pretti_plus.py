@@ -26,6 +26,7 @@ from typing import Any, Iterator
 
 from repro.core.base import JoinStats, PreparedIndex, SetContainmentJoin
 from repro.index.inverted import InvertedIndex
+from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation, SetRecord
 from repro.tries.set_patricia import SetPatriciaTrie
 
@@ -65,30 +66,44 @@ class PrettiPlusPreparedIndex(PreparedIndex):
         the child's prefix run; the refinement short-circuits (and the
         subtree is pruned without being visited) as soon as the candidate
         list empties, because descendants only ever shrink it further.
+
+        Under an active tracer the probe-side phases — inverted-file
+        construction (``invert``) and the traversal (``traverse``) — are
+        reported as child spans of ``probe``, mirroring PRETTI.
         """
-        index = InvertedIndex(r)
+        tracer = current_tracer()
+        with tracer.span("invert"):
+            index = InvertedIndex(r)
+            if tracer.enabled:
+                tracer.count("inverted_records", len(index.all_ids))
         pairs: list[tuple[int, int]] = []
         intersections_before = index.intersection_count
         visits = 0
-        # Stack entries carry the candidate list *after* the node's prefix
-        # has been applied; the root's prefix is empty so it starts with all
-        # R-ids (every R-tuple contains the empty prefix).
-        stack: list[tuple] = [(self.trie.root, index.all_ids)] if index.all_ids else []
-        while stack:
-            node, current = stack.pop()
-            visits += 1
-            if node.tuples:
-                for s_id in node.tuples:
-                    for r_id in current:
-                        pairs.append((r_id, s_id))
-            for child in node.children.values():
-                child_list = current
-                for element in child.prefix:
-                    child_list = index.refine(child_list, element)
-                    if not child_list:
-                        break
-                if child_list:
-                    stack.append((child, child_list))
+        with tracer.span("traverse"):
+            # Stack entries carry the candidate list *after* the node's prefix
+            # has been applied; the root's prefix is empty so it starts with all
+            # R-ids (every R-tuple contains the empty prefix).
+            stack: list[tuple] = [(self.trie.root, index.all_ids)] if index.all_ids else []
+            while stack:
+                node, current = stack.pop()
+                visits += 1
+                if node.tuples:
+                    for s_id in node.tuples:
+                        for r_id in current:
+                            pairs.append((r_id, s_id))
+                for child in node.children.values():
+                    child_list = current
+                    for element in child.prefix:
+                        child_list = index.refine(child_list, element)
+                        if not child_list:
+                            break
+                    if child_list:
+                        stack.append((child, child_list))
+            if tracer.enabled:
+                tracer.count("node_visits", visits)
+                tracer.count(
+                    "intersections", index.intersection_count - intersections_before
+                )
         stats.node_visits += visits
         stats.intersections += index.intersection_count - intersections_before
         return pairs

@@ -12,24 +12,39 @@ import time
 
 from repro.core.base import JoinResult, JoinStats
 from repro.extensions.set_index import PatriciaSetIndex, build_patricia_index
+from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation
 
 __all__ = ["equality_join", "equality_join_on_index"]
 
 
 def equality_join_on_index(r: Relation, index: PatriciaSetIndex) -> JoinResult:
-    """Probe an existing Patricia index for ``r.set = s.set`` pairs."""
+    """Probe an existing Patricia index for ``r.set = s.set`` pairs.
+
+    The probe runs under a ``probe`` span of the current tracer, and
+    ``probe_seconds`` is the span's own measurement — one clock for the
+    span tree and the stats, so the two cannot drift apart (the
+    double-count risk the hand-rolled timers used to carry).
+    """
     stats = JoinStats(algorithm="ptsj-equality", signature_bits=index.bits)
-    start = time.perf_counter()
+    tracer = current_tracer()
     pairs: list[tuple[int, int]] = []
-    for rec in r:
-        for group in index.equal_to(rec.elements):
-            stats.candidates += 1
-            stats.verifications += 1
-            for s_id in group.ids:
-                pairs.append((rec.rid, s_id))
-        stats.node_visits += index.trie.visits_last_query
-    stats.probe_seconds = time.perf_counter() - start
+    with tracer.span("probe"):
+        start = time.perf_counter()
+        for rec in r:
+            for group in index.equal_to(rec.elements):
+                stats.candidates += 1
+                stats.verifications += 1
+                for s_id in group.ids:
+                    pairs.append((rec.rid, s_id))
+            stats.node_visits += index.trie.visits_last_query
+        stats.probe_seconds = time.perf_counter() - start
+        if tracer.enabled:
+            tracer.count("probe_records", len(r))
+            tracer.count("pairs", len(pairs))
+            tracer.count("candidates", stats.candidates)
+            tracer.count("node_visits", stats.node_visits)
+            tracer.observe("probe_seconds", stats.probe_seconds)
     return JoinResult(pairs, stats)
 
 

@@ -19,6 +19,7 @@ import time
 from repro.core.base import JoinResult, JoinStats
 from repro.errors import AlgorithmError
 from repro.extensions.set_index import PatriciaSetIndex, build_patricia_index
+from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation
 
 __all__ = ["similarity_join", "similarity_join_on_index", "jaccard_join", "jaccard_join_on_index"]
@@ -36,16 +37,23 @@ def similarity_join_on_index(
         raise AlgorithmError(f"similarity threshold must be non-negative, got {threshold}")
     stats = JoinStats(algorithm="ptsj-similarity", signature_bits=index.bits)
     stats.extras["threshold"] = threshold
-    start = time.perf_counter()
+    tracer = current_tracer()
     pairs: list[tuple[int, int]] = []
-    for rec in r:
-        for group, _distance in index.within_hamming(rec.elements, threshold):
-            stats.candidates += 1
-            stats.verifications += 1
-            for s_id in group.ids:
-                pairs.append((rec.rid, s_id))
-        stats.node_visits += index.trie.visits_last_query
-    stats.probe_seconds = time.perf_counter() - start
+    with tracer.span("probe"):
+        start = time.perf_counter()
+        for rec in r:
+            for group, _distance in index.within_hamming(rec.elements, threshold):
+                stats.candidates += 1
+                stats.verifications += 1
+                for s_id in group.ids:
+                    pairs.append((rec.rid, s_id))
+            stats.node_visits += index.trie.visits_last_query
+        stats.probe_seconds = time.perf_counter() - start
+        if tracer.enabled:
+            tracer.count("probe_records", len(r))
+            tracer.count("pairs", len(pairs))
+            tracer.count("candidates", stats.candidates)
+            tracer.observe("probe_seconds", stats.probe_seconds)
     return JoinResult(pairs, stats)
 
 
@@ -71,21 +79,28 @@ def jaccard_join_on_index(
         raise AlgorithmError(f"jaccard threshold must be in (0, 1], got {threshold}")
     stats = JoinStats(algorithm="ptsj-jaccard", signature_bits=index.bits)
     stats.extras["threshold"] = threshold
-    start = time.perf_counter()
+    tracer = current_tracer()
     pairs: list[tuple[int, int]] = []
-    for rec in r:
-        query = rec.elements
-        hamming_budget = int(len(query) * (1.0 - threshold) / threshold)
-        for group, _distance in index.within_hamming(query, hamming_budget):
-            stats.candidates += 1
-            stats.verifications += 1
-            union = len(query | group.elements)
-            jaccard = (len(query & group.elements) / union) if union else 1.0
-            if jaccard >= threshold:
-                for s_id in group.ids:
-                    pairs.append((rec.rid, s_id))
-        stats.node_visits += index.trie.visits_last_query
-    stats.probe_seconds = time.perf_counter() - start
+    with tracer.span("probe"):
+        start = time.perf_counter()
+        for rec in r:
+            query = rec.elements
+            hamming_budget = int(len(query) * (1.0 - threshold) / threshold)
+            for group, _distance in index.within_hamming(query, hamming_budget):
+                stats.candidates += 1
+                stats.verifications += 1
+                union = len(query | group.elements)
+                jaccard = (len(query & group.elements) / union) if union else 1.0
+                if jaccard >= threshold:
+                    for s_id in group.ids:
+                        pairs.append((rec.rid, s_id))
+            stats.node_visits += index.trie.visits_last_query
+        stats.probe_seconds = time.perf_counter() - start
+        if tracer.enabled:
+            tracer.count("probe_records", len(r))
+            tracer.count("pairs", len(pairs))
+            tracer.count("candidates", stats.candidates)
+            tracer.observe("probe_seconds", stats.probe_seconds)
     return JoinResult(pairs, stats)
 
 

@@ -12,6 +12,7 @@ import time
 
 from repro.core.base import JoinResult, JoinStats
 from repro.extensions.set_index import PatriciaSetIndex, build_patricia_index
+from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation
 
 __all__ = ["superset_join", "superset_join_on_index"]
@@ -21,19 +22,29 @@ def superset_join_on_index(r: Relation, index: PatriciaSetIndex) -> JoinResult:
     """Probe an existing index (built over ``S``) for ``r.set ⊆ s.set``.
 
     This is the reuse path the paper highlights: the same trie that served
-    the containment join answers the superset join.
+    the containment join answers the superset join.  The probe runs under
+    a ``probe`` span of the current tracer; ``probe_seconds`` is the same
+    measurement the span carries.
     """
     stats = JoinStats(algorithm="ptsj-superset", signature_bits=index.bits)
-    start = time.perf_counter()
+    tracer = current_tracer()
     pairs: list[tuple[int, int]] = []
-    for rec in r:
-        for group in index.supersets_of(rec.elements):
-            stats.candidates += 1
-            stats.verifications += 1
-            for s_id in group.ids:
-                pairs.append((rec.rid, s_id))
-        stats.node_visits += index.trie.visits_last_query
-    stats.probe_seconds = time.perf_counter() - start
+    with tracer.span("probe"):
+        start = time.perf_counter()
+        for rec in r:
+            for group in index.supersets_of(rec.elements):
+                stats.candidates += 1
+                stats.verifications += 1
+                for s_id in group.ids:
+                    pairs.append((rec.rid, s_id))
+            stats.node_visits += index.trie.visits_last_query
+        stats.probe_seconds = time.perf_counter() - start
+        if tracer.enabled:
+            tracer.count("probe_records", len(r))
+            tracer.count("pairs", len(pairs))
+            tracer.count("candidates", stats.candidates)
+            tracer.count("node_visits", stats.node_visits)
+            tracer.observe("probe_seconds", stats.probe_seconds)
     return JoinResult(pairs, stats)
 
 

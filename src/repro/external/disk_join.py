@@ -23,6 +23,7 @@ from pathlib import Path
 from repro.core.base import JoinResult, JoinStats
 from repro.core.registry import make_algorithm
 from repro.errors import ExternalMemoryError
+from repro.obs.tracer import current_tracer
 from repro.external.partition import SpilledRelation
 from repro.relations.relation import Relation
 
@@ -73,19 +74,29 @@ class DiskPartitionedJoin:
             workdir = Path(own_tmp.name)
         else:
             workdir = Path(self.workdir)
+        tracer = current_tracer()
         try:
-            spill_start = time.perf_counter()
-            r_named = r if r.name else Relation(r.records, name="R")
-            s_named = s if s.name else Relation(s.records, name="S")
-            r_spill = SpilledRelation(r_named, workdir / "r", self.max_tuples)
-            s_spill = SpilledRelation(s_named, workdir / "s", self.max_tuples)
-            spill_seconds = time.perf_counter() - spill_start
+            with tracer.span("spill"):
+                spill_start = time.perf_counter()
+                r_named = r if r.name else Relation(r.records, name="R")
+                s_named = s if s.name else Relation(s.records, name="S")
+                r_spill = SpilledRelation(r_named, workdir / "r", self.max_tuples)
+                s_spill = SpilledRelation(s_named, workdir / "s", self.max_tuples)
+                spill_seconds = time.perf_counter() - spill_start
+                if tracer.enabled:
+                    tracer.count("spilled_partitions", len(r_spill) + len(s_spill))
 
+            # Each per-pair join opens its own build/probe spans, which
+            # merge under the current span — the trace shows the summed
+            # build/probe cost exactly as the aggregated stats do, with
+            # the quadratic partition-load I/O visible as ``load``.
             pairs: list[tuple[int, int]] = []
             for s_index in range(len(s_spill)):
-                s_part = s_spill.load(s_index)
+                with tracer.span("load"):
+                    s_part = s_spill.load(s_index)
                 for r_index in range(len(r_spill)):
-                    r_part = r_spill.load(r_index)
+                    with tracer.span("load"):
+                        r_part = r_spill.load(r_index)
                     algo = make_algorithm(self.algorithm, **self.algorithm_kwargs)
                     part_result = algo.join(r_part, s_part)
                     pairs.extend(part_result.pairs)

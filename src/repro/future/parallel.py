@@ -31,9 +31,10 @@ from repro.core.base import JoinResult, JoinStats, PreparedIndex
 from repro.core.registry import make_algorithm
 from repro.errors import AlgorithmError
 from repro.external.partition import partition_relation
+from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation
 
-__all__ = ["ParallelJoin", "parallel_join"]
+__all__ = ["ParallelJoin", "parallel_join", "record_chunk_span"]
 
 #: The prepared index shared with worker processes.  Set once per worker by
 #: :func:`_init_worker` (inherited for free when the pool forks; transferred
@@ -52,6 +53,33 @@ def _probe_chunk(r_chunk: Relation) -> tuple[list[tuple[int, int]], JoinStats]:
     assert _WORKER_INDEX is not None, "worker pool initializer did not run"
     result = _WORKER_INDEX.probe_many(r_chunk)
     return result.pairs, result.stats
+
+
+def record_chunk_span(tracer, chunk_stats: JoinStats) -> None:
+    """Fold one worker-measured chunk probe into the parent's span tree.
+
+    Workers run with their own (null) tracer; their probe wall time comes
+    home inside the chunk's :class:`JoinStats`.  Recording it — rather
+    than re-timing with a context manager — merges every chunk into one
+    ``probe`` span whose ``seconds`` equals the *summed* per-chunk probe
+    time (what ``stats.probe_seconds`` reports), not the smaller parallel
+    wall time, so the span tree and the stats stay consistent.
+    """
+    if not tracer.enabled:
+        return
+    tracer.record(
+        "probe",
+        chunk_stats.probe_seconds,
+        {
+            "chunks": 1,
+            "pairs": chunk_stats.pairs,
+            "candidates": chunk_stats.candidates,
+            "verifications": chunk_stats.verifications,
+            "node_visits": chunk_stats.node_visits,
+            "intersections": chunk_stats.intersections,
+        },
+    )
+    tracer.observe("chunk_probe_seconds", chunk_stats.probe_seconds)
 
 
 def merge_chunk_stats(stats: JoinStats, chunk_stats: JoinStats) -> None:
@@ -152,7 +180,10 @@ class ParallelJoin:
         stats.extras["index_builds"] = 1
 
         pairs: list[tuple[int, int]] = []
+        tracer = current_tracer()
         if self.workers == 1:
+            # In-process probes run under the active tracer directly, so
+            # probe_many opens the spans itself — no explicit recording.
             outcomes = [
                 (res.pairs, res.stats)
                 for res in (index.probe_many(chunk) for chunk in r_chunks)
@@ -160,6 +191,8 @@ class ParallelJoin:
         else:
             with self._make_pool(index) as pool:
                 outcomes = list(pool.map(_probe_chunk, r_chunks))
+            for _, chunk_stats in outcomes:
+                record_chunk_span(tracer, chunk_stats)
         for chunk_pairs, chunk_stats in outcomes:
             pairs.extend(chunk_pairs)
             merge_chunk_stats(stats, chunk_stats)

@@ -47,7 +47,13 @@ from repro.errors import (
     RetryExhaustedError,
     WorkerError,
 )
-from repro.future.parallel import ParallelJoin, _probe_chunk, merge_chunk_stats
+from repro.future.parallel import (
+    ParallelJoin,
+    _probe_chunk,
+    merge_chunk_stats,
+    record_chunk_span,
+)
+from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation
 
 __all__ = ["RetryPolicy", "ResilientParallelJoin", "resilient_parallel_join"]
@@ -228,7 +234,9 @@ class ResilientParallelJoin(ParallelJoin):
             task.attempts += 1
             if task.attempts > 1:
                 stats.extras["retries"] += 1
-                time.sleep(self.retry_policy.delay(task.attempts - 1))
+                delay = self.retry_policy.delay(task.attempts - 1)
+                current_tracer().record("retry", delay, {"retries": 1})
+                time.sleep(delay)
             try:
                 result = index.probe_many(task.chunk)
                 self._check_result(task, result.pairs, s_ids, stats)
@@ -265,6 +273,7 @@ class ResilientParallelJoin(ParallelJoin):
                     try:
                         chunk_pairs, chunk_stats = future.result()
                         self._check_result(task, chunk_pairs, s_ids, stats)
+                        record_chunk_span(current_tracer(), chunk_stats)
                         results[task.idx] = (chunk_pairs, chunk_stats)
                         continue
                     except BrokenProcessPool:
@@ -276,7 +285,9 @@ class ResilientParallelJoin(ParallelJoin):
                     if retry_now:
                         if task.attempts < self.retry_policy.max_attempts:
                             stats.extras["retries"] += 1
-                            time.sleep(self.retry_policy.delay(task.attempts))
+                            delay = self.retry_policy.delay(task.attempts)
+                            current_tracer().record("retry", delay, {"retries": 1})
+                            time.sleep(delay)
                             self._submit(pool, task, pending)
                         else:
                             results[task.idx] = self._exhausted(task, pristine, stats, last_error)
@@ -326,6 +337,9 @@ class ResilientParallelJoin(ParallelJoin):
     ) -> ProcessPoolExecutor:
         """Replace a broken pool and resubmit every in-flight chunk."""
         stats.extras["pool_restarts"] += 1
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("pool_restarts")
         stranded = list(pending.values())
         pending.clear()
         pool.shutdown(wait=False, cancel_futures=True)
@@ -333,7 +347,9 @@ class ResilientParallelJoin(ParallelJoin):
         for task in stranded:
             if task.attempts < self.retry_policy.max_attempts:
                 stats.extras["retries"] += 1
-                time.sleep(self.retry_policy.delay(task.attempts))
+                delay = self.retry_policy.delay(task.attempts)
+                tracer.record("retry", delay, {"retries": 1})
+                time.sleep(delay)
                 self._submit(pool, task, pending)
             else:
                 results[task.idx] = self._exhausted(
@@ -376,6 +392,7 @@ class ResilientParallelJoin(ParallelJoin):
             else:
                 abandoned = True
             stats.extras["timeouts"] += 1
+            current_tracer().record("timeout", 0.0, {"timeouts": 1})
             if not self.fallback:
                 raise JoinTimeoutError(
                     f"chunk {task.idx} exceeded its {self.timeout_seconds}s budget "
@@ -409,9 +426,13 @@ class ResilientParallelJoin(ParallelJoin):
 
         The fallback deliberately bypasses ``index_transform``: whatever
         wrapper was shipped to the workers, the parent's untouched copy is
-        the ground truth of last resort.
+        the ground truth of last resort.  The probe itself runs in-process
+        under the active tracer (so it opens the ``probe`` span directly);
+        a zero-duration ``fallback`` marker span carries the count without
+        double-charging the probe time.
         """
         stats.extras["fallback_chunks"] += 1
+        current_tracer().record("fallback", 0.0, {"fallback_chunks": 1})
         result = pristine.probe_many(task.chunk)
         return result.pairs, result.stats
 

@@ -26,6 +26,7 @@ from typing import Any, Iterator
 
 from repro.core.base import JoinStats, PreparedIndex, SetContainmentJoin
 from repro.core.framework import insert_into_groups
+from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation, SetRecord
 from repro.signatures.hashing import ModuloScheme, SignatureScheme
 from repro.signatures.length import SignatureLengthStrategy
@@ -68,37 +69,47 @@ class TrieTriePreparedIndex(PreparedIndex):
                     yield from group.ids
 
     def _probe_all(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
-        """One simultaneous traversal emits all candidate leaf pairs."""
-        r_trie = self._build_probe_trie(r)
+        """One simultaneous traversal emits all candidate leaf pairs.
+
+        Under an active tracer the probe-batch R-trie construction
+        (``probe_trie_build``) and the simultaneous walk (``traverse``)
+        are reported as child spans of ``probe``.
+        """
+        tracer = current_tracer()
+        with tracer.span("probe_trie_build"):
+            r_trie = self._build_probe_trie(r)
         stats.index_nodes = r_trie.node_count() + self.s_trie.node_count()
         pairs: list[tuple[int, int]] = []
         visits = 0
-        stack: list[tuple[BinaryTrieNode, BinaryTrieNode]] = [
-            (r_trie.root, self.s_trie.root)
-        ]
-        while stack:
-            r_node, s_node = stack.pop()
-            visits += 1
-            if r_node.items is not None:
-                # Both tries have uniform depth, so s_node is a leaf too.
-                for s_group in s_node.items:  # type: ignore[union-attr]
-                    for r_group in r_node.items:
-                        stats.candidates += 1
-                        stats.verifications += 1
-                        if s_group.elements <= r_group.elements:
-                            for r_id in r_group.ids:
-                                for s_id in s_group.ids:
-                                    pairs.append((r_id, s_id))
-                continue
-            r_left, r_right = r_node.left, r_node.right
-            s_left, s_right = s_node.left, s_node.right
-            if r_left is not None and s_left is not None:
-                stack.append((r_left, s_left))
-            if r_right is not None:
-                if s_left is not None:
-                    stack.append((r_right, s_left))
-                if s_right is not None:
-                    stack.append((r_right, s_right))
+        with tracer.span("traverse"):
+            stack: list[tuple[BinaryTrieNode, BinaryTrieNode]] = [
+                (r_trie.root, self.s_trie.root)
+            ]
+            while stack:
+                r_node, s_node = stack.pop()
+                visits += 1
+                if r_node.items is not None:
+                    # Both tries have uniform depth, so s_node is a leaf too.
+                    for s_group in s_node.items:  # type: ignore[union-attr]
+                        for r_group in r_node.items:
+                            stats.candidates += 1
+                            stats.verifications += 1
+                            if s_group.elements <= r_group.elements:
+                                for r_id in r_group.ids:
+                                    for s_id in s_group.ids:
+                                        pairs.append((r_id, s_id))
+                    continue
+                r_left, r_right = r_node.left, r_node.right
+                s_left, s_right = s_node.left, s_node.right
+                if r_left is not None and s_left is not None:
+                    stack.append((r_left, s_left))
+                if r_right is not None:
+                    if s_left is not None:
+                        stack.append((r_right, s_left))
+                    if s_right is not None:
+                        stack.append((r_right, s_right))
+            if tracer.enabled:
+                tracer.count("pair_visits", visits)
         stats.node_visits += visits
         return pairs
 

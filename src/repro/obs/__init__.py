@@ -1,0 +1,55 @@
+"""repro.obs — zero-dependency observability for every join.
+
+Three cooperating pieces (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.tracer` — phase-scoped spans (``build``, ``probe``,
+  ``signature_filter``, ``verify``, ``spill``, ...), merged by name into
+  a bounded tree; a no-op :class:`NullTracer` is active by default so the
+  hot path pays nothing when tracing is off.
+* :mod:`repro.obs.metrics` — a process-local registry of named counters,
+  gauges and histograms that :class:`~repro.core.base.JoinStats` can
+  snapshot into ``extras``.
+* :mod:`repro.obs.export` — JSONL trace files (``repro-scj join --trace``)
+  plus a plain-text tree renderer; :mod:`repro.obs.profile` gates
+  ``cProfile`` per phase.
+"""
+
+from repro.obs.export import read_trace, render_tree, write_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+from repro.obs.profile import PhaseProfiler
+from repro.obs.tracer import (
+    PHASES,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use,
+)
+
+__all__ = [
+    "PHASES",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "current_tracer",
+    "set_tracer",
+    "use",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "reset_default_registry",
+    "PhaseProfiler",
+    "write_trace",
+    "read_trace",
+    "render_tree",
+]

@@ -1,0 +1,151 @@
+"""JSONL trace export/import and plain-text span-tree rendering.
+
+Trace files are newline-delimited JSON, one record per line:
+
+* the first line is a ``{"type": "meta", ...}`` record carrying whatever
+  run context the producer supplies (algorithm, dataset, timestamp);
+* every further line is a ``{"type": "span", "id": n, "parent": p, ...}``
+  record, written depth-first, parents before children, so the file can
+  be reconstructed in one pass and grepped/streamed line-by-line.
+
+The format is the contract between ``repro-scj join --trace FILE``, the
+benchmark harness and external consumers; ``tests/test_obs.py`` pins the
+round-trip.  See ``docs/OBSERVABILITY.md`` for the field reference.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+from repro.obs.tracer import Span
+
+__all__ = [
+    "write_trace",
+    "read_trace",
+    "render_tree",
+    "span_to_dict",
+]
+
+
+def span_to_dict(span: Span, span_id: int, parent: int | None) -> dict[str, Any]:
+    """One span as its JSONL record (children are separate records)."""
+    record: dict[str, Any] = {
+        "type": "span",
+        "id": span_id,
+        "parent": parent,
+        "name": span.name,
+        "seconds": span.seconds,
+        "calls": span.calls,
+    }
+    if span.counters:
+        record["counters"] = dict(span.counters)
+    if span.mem_peak_bytes:
+        record["mem_peak_bytes"] = span.mem_peak_bytes
+    return record
+
+
+def write_trace(
+    path: str | Path, root: Span, meta: Mapping[str, Any] | None = None
+) -> None:
+    """Write a span tree (plus an optional meta header) as JSONL."""
+    with Path(path).open("w", encoding="utf-8") as out:
+        header: dict[str, Any] = {"type": "meta", "root": root.name}
+        if meta:
+            header.update(meta)
+        out.write(json.dumps(header, sort_keys=True) + "\n")
+        next_id = 0
+        stack: list[tuple[Span, int | None]] = [(root, None)]
+        while stack:
+            span, parent = stack.pop()
+            span_id = next_id
+            next_id += 1
+            out.write(json.dumps(span_to_dict(span, span_id, parent)) + "\n")
+            # Reversed so children pop (and serialise) in insertion order.
+            for child in reversed(list(span.children.values())):
+                stack.append((child, span_id))
+
+
+def read_trace(path: str | Path) -> tuple[Span, dict[str, Any]]:
+    """Reconstruct ``(root_span, meta)`` from a JSONL trace file.
+
+    Raises:
+        ReproError: On a malformed file (bad JSON, missing root, a span
+            referencing an unknown parent).
+    """
+    source = Path(path)
+    meta: dict[str, Any] = {}
+    spans: dict[int, Span] = {}
+    root: Span | None = None
+    with source.open("r", encoding="utf-8") as src:
+        for lineno, line in enumerate(src, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"{source}:{lineno}: invalid JSON: {exc}") from exc
+            kind = record.get("type")
+            if kind == "meta":
+                meta = {k: v for k, v in record.items() if k != "type"}
+                continue
+            if kind != "span":
+                raise ReproError(f"{source}:{lineno}: unknown record type {kind!r}")
+            span = Span(record["name"])
+            span.seconds = float(record["seconds"])
+            span.calls = int(record["calls"])
+            span.counters = dict(record.get("counters", {}))
+            span.mem_peak_bytes = int(record.get("mem_peak_bytes", 0))
+            spans[int(record["id"])] = span
+            parent = record.get("parent")
+            if parent is None:
+                if root is not None:
+                    raise ReproError(f"{source}:{lineno}: multiple root spans")
+                root = span
+            else:
+                parent_span = spans.get(int(parent))
+                if parent_span is None:
+                    raise ReproError(
+                        f"{source}:{lineno}: span {record['id']} references "
+                        f"unknown parent {parent}"
+                    )
+                parent_span.children[span.name] = span
+    if root is None:
+        raise ReproError(f"{source}: trace file contains no root span")
+    return root, meta
+
+
+def render_tree(root: Span, min_seconds: float = 0.0) -> str:
+    """A human-readable indented rendering of a span tree.
+
+    Args:
+        root: The tree to render.
+        min_seconds: Hide spans (and their subtrees) faster than this.
+    """
+    lines: list[str] = []
+    total = sum(child.seconds for child in root.children.values()) or root.seconds
+
+    def emit(span: Span, depth: int) -> None:
+        if depth and span.seconds < min_seconds:
+            return
+        share = f" ({span.seconds / total * 100.0:5.1f}%)" if depth and total > 0 else ""
+        counters = ""
+        if span.counters:
+            shown = ", ".join(
+                f"{k}={int(v) if float(v).is_integer() else v}"
+                for k, v in sorted(span.counters.items())
+            )
+            counters = f"  [{shown}]"
+        mem = f"  peak={span.mem_peak_bytes}B" if span.mem_peak_bytes else ""
+        lines.append(
+            f"{'  ' * depth}{span.name:<20} {span.seconds * 1e3:10.3f} ms"
+            f"{share}  x{span.calls}{counters}{mem}"
+        )
+        for child in span.children.values():
+            emit(child, depth + 1)
+
+    emit(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""Process-local metrics: named counters, gauges and histograms.
+
+:class:`MetricsRegistry` generalises the hand-maintained counters of
+:class:`~repro.core.base.JoinStats`: a join run with a registry-backed
+tracer feeds the same ``pairs`` / ``candidates`` / ``verifications`` /
+``node_visits`` deltas into named :class:`Counter` instruments, timings
+into :class:`Histogram` instruments, and any component can add its own
+without touching the stats dataclass.  ``JoinStats.snapshot_registry``
+copies a registry snapshot into ``stats.extras``, so the existing extras
+mechanism is one *view* of the registry rather than a parallel system.
+
+Registries are plain objects — create one per run for isolation, or use
+the process-wide :func:`default_registry` for long-lived serving
+processes that want cumulative counts.  Nothing here is thread-safe by
+design (the join algorithms are single-threaded per process; parallel
+executors aggregate worker *stats*, not worker registries).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, MutableMapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "reset_default_registry",
+]
+
+
+class Counter:
+    """A monotonically-increasing named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` (must be non-negative) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A named value that can move in both directions."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, n: float) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Summary statistics of observed values (count/sum/min/max).
+
+    A full bucketed histogram is overkill for wall-time distributions at
+    this scale; count, sum and extrema answer the questions the benchmarks
+    ask (mean probe latency, worst batch) without unbounded state.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.6g}>"
+
+
+class MetricsRegistry:
+    """A namespace of counters, gauges and histograms.
+
+    Instruments are created on first access (Prometheus-client style), so
+    call sites never need registration boilerplate::
+
+        registry = MetricsRegistry()
+        registry.counter("pairs").inc(42)
+        registry.histogram("probe_seconds").observe(0.003)
+        registry.snapshot()   # {'pairs': 42.0, 'probe_seconds.count': 1, ...}
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter ``name``, created on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = Counter(name)
+            self._counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge ``name``, created on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = Gauge(name)
+            self._gauges[name] = instrument
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram ``name``, created on first use."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = Histogram(name)
+            self._histograms[name] = instrument
+        return instrument
+
+    def snapshot(self) -> dict[str, float]:
+        """A flat name → value view of every instrument.
+
+        Histograms expand to ``name.count`` / ``name.sum`` / ``name.min``
+        / ``name.max`` entries (extrema omitted while empty).
+        """
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, hist in self._histograms.items():
+            out[f"{name}.count"] = float(hist.count)
+            out[f"{name}.sum"] = hist.total
+            if hist.count:
+                out[f"{name}.min"] = hist.min
+                out[f"{name}.max"] = hist.max
+        return out
+
+    def snapshot_into(
+        self, extras: MutableMapping[str, float], prefix: str = "metric."
+    ) -> None:
+        """Copy :meth:`snapshot` into ``extras`` under ``prefix``.
+
+        This is how :class:`~repro.core.base.JoinStats` absorbs a run's
+        registry — see ``JoinStats.snapshot_registry``.
+        """
+        for name, value in self.snapshot().items():
+            extras[f"{prefix}{name}"] = value
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one."""
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, hist in other._histograms.items():
+            mine = self.histogram(name)
+            mine.count += hist.count
+            mine.total += hist.total
+            mine.min = min(mine.min, hist.min)
+            mine.max = max(mine.max, hist.max)
+
+    def reset(self) -> None:
+        """Drop every instrument (isolation between runs/tests)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )
+
+
+#: The process-wide registry for long-lived processes; tests use fresh
+#: instances (or :func:`reset_default_registry`) for isolation.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _DEFAULT
+
+
+def reset_default_registry() -> None:
+    """Clear the process-wide registry (test isolation)."""
+    _DEFAULT.reset()

@@ -1,0 +1,80 @@
+"""Per-phase ``cProfile`` hook.
+
+Whole-join profiles drown the interesting phase in harness noise; a
+:class:`PhaseProfiler` instead arms ``cProfile`` only while spans of the
+requested phases are open, so ``repro-scj join --profile probe`` shows
+exactly the probe loop's hot functions and nothing else.
+
+``cProfile`` forbids nested activation, so when a gated phase opens
+inside another gated phase (``verify`` under ``probe``) the inner span is
+simply covered by the outer profile — the profiler tracks one active
+phase at a time and attributes the capture to the span that armed it.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Iterable
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Collects one aggregated ``cProfile`` capture per gated phase.
+
+    Args:
+        phases: Span names to profile (e.g. ``{"probe", "build"}``).
+
+    The tracer drives it: :meth:`enter` arms the profiler when the span's
+    name is gated and nothing is being profiled yet; :meth:`exit` disarms
+    it and folds the capture into that phase's accumulated stats.
+    """
+
+    def __init__(self, phases: Iterable[str]) -> None:
+        self.phases = frozenset(phases)
+        self._active_phase: str | None = None
+        self._profile: cProfile.Profile | None = None
+        self._stats: dict[str, pstats.Stats] = {}
+
+    def enter(self, name: str) -> bool:
+        """Arm the profiler for span ``name``; True when armed."""
+        if name not in self.phases or self._active_phase is not None:
+            return False
+        self._active_phase = name
+        self._profile = cProfile.Profile()
+        self._profile.enable()
+        return True
+
+    def exit(self, name: str) -> None:
+        """Disarm after the span that armed the profiler closes."""
+        if self._active_phase != name or self._profile is None:
+            return
+        self._profile.disable()
+        capture = pstats.Stats(self._profile)
+        existing = self._stats.get(name)
+        if existing is None:
+            self._stats[name] = capture
+        else:
+            existing.add(self._profile)
+        self._active_phase = None
+        self._profile = None
+
+    def profiled_phases(self) -> tuple[str, ...]:
+        """Phases for which at least one capture exists."""
+        return tuple(self._stats)
+
+    def stats(self, phase: str) -> pstats.Stats | None:
+        """The accumulated ``pstats.Stats`` for ``phase`` (or ``None``)."""
+        return self._stats.get(phase)
+
+    def summary(self, phase: str, limit: int = 15) -> str:
+        """Top ``limit`` functions by cumulative time for ``phase``."""
+        stats = self._stats.get(phase)
+        if stats is None:
+            return f"(no profile captured for phase {phase!r})"
+        buffer = io.StringIO()
+        stats.stream = buffer  # type: ignore[attr-defined]
+        stats.sort_stats("cumulative").print_stats(limit)
+        return buffer.getvalue()

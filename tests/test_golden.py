@@ -1,0 +1,93 @@
+"""Golden-file regression tests: bit-for-bit output pinning.
+
+``tests/golden/`` holds a tiny handcrafted dataset — subset chains,
+duplicate sets on both sides, empty sets, a universal set — plus the
+expected join output in :func:`repro.relations.io.write_join_result`'s
+canonical sorted ``"r_id s_id"`` format.  Every registry algorithm (and
+the equality/superset extensions) must reproduce the expected file
+byte-for-byte, so any behavioural drift — a lost pair, a changed id, a
+format change — fails loudly with a diffable file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.registry import available_algorithms, make_algorithm, prepare_index
+from repro.extensions.equality import equality_join_on_index
+from repro.extensions.set_index import PatriciaSetIndex
+from repro.extensions.superset import superset_join_on_index
+from repro.relations.io import read_relation, write_join_result
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def golden_pair():
+    r = read_relation(GOLDEN / "r.txt")
+    s = read_relation(GOLDEN / "s.txt")
+    return r, s
+
+
+def _assert_bytes_match(pairs, expected_name: str, tmp_path) -> None:
+    out = tmp_path / "actual.txt"
+    write_join_result(pairs, out)
+    expected = (GOLDEN / expected_name).read_bytes()
+    assert out.read_bytes() == expected, (
+        f"output drifted from tests/golden/{expected_name}"
+    )
+
+
+def test_fixture_exercises_edge_cases(golden_pair):
+    """The dataset must keep covering the regression-prone shapes."""
+    r, s = golden_pair
+    r_sets = [rec.elements for rec in r]
+    s_sets = [rec.elements for rec in s]
+    assert frozenset() in r_sets and frozenset() in s_sets
+    assert len(set(r_sets)) < len(r_sets), "R must contain duplicate sets"
+    assert len(set(s_sets)) < len(s_sets), "S must contain duplicate sets"
+    universe = frozenset().union(*s_sets)
+    assert any(universe <= elems for elems in r_sets), (
+        "R must contain a set covering S's whole domain"
+    )
+
+
+@pytest.mark.parametrize("name", available_algorithms())
+def test_containment_join_golden(name, golden_pair, tmp_path):
+    r, s = golden_pair
+    result = make_algorithm(name).join(r, s)
+    _assert_bytes_match(result.pairs, "expected_containment.txt", tmp_path)
+
+
+@pytest.mark.parametrize("name", available_algorithms())
+def test_prepared_probe_golden(name, golden_pair, tmp_path):
+    r, s = golden_pair
+    result = prepare_index(s, algorithm=name).probe_many(r)
+    _assert_bytes_match(result.pairs, "expected_containment.txt", tmp_path)
+
+
+def test_equality_join_golden(golden_pair, tmp_path):
+    r, s = golden_pair
+    result = equality_join_on_index(r, PatriciaSetIndex(s))
+    _assert_bytes_match(result.pairs, "expected_equality.txt", tmp_path)
+
+
+def test_superset_join_golden(golden_pair, tmp_path):
+    r, s = golden_pair
+    result = superset_join_on_index(r, PatriciaSetIndex(s))
+    _assert_bytes_match(result.pairs, "expected_superset.txt", tmp_path)
+
+
+def test_golden_matches_brute_force(golden_pair):
+    """The expected file itself must equal the obvious oracle."""
+    r, s = golden_pair
+    oracle = sorted(
+        (rr.rid, ss.rid) for rr in r for ss in s if rr.elements >= ss.elements
+    )
+    expected = [
+        tuple(map(int, line.split()))
+        for line in (GOLDEN / "expected_containment.txt").read_text().splitlines()
+    ]
+    assert expected == oracle
