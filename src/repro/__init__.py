@@ -26,6 +26,14 @@ Probing the same indexed relation repeatedly?  Build once, probe many::
 
     index = prepare_index(prefs)          # one build
     result = index.probe_many(profiles)   # reuses it; index.probe(rec) streams
+
+Wondering *why* a join ran the way it did?  Every join is planned first;
+the plan is explainable and serializable::
+
+    from repro import plan
+
+    query_plan = plan(profiles, prefs)
+    print(query_plan.explain())           # EXPLAIN-style decision tree
 """
 
 from repro.baselines import SHJ, TSJ, NestedLoopJoin, PRETTI
@@ -58,7 +66,10 @@ from repro.errors import (
     TrieError,
     WorkerError,
 )
+from repro.core.registry import cost_profile, execute_plan, plan
+from repro.errors import PlanError
 from repro.obs import MetricsRegistry, NullTracer, Tracer, current_tracer, use
+from repro.planner import Plan, Planner, Workload
 from repro.relations import Relation, RelationStats, SetRecord, Universe, compute_stats
 
 __version__ = "1.0.0"
@@ -91,6 +102,13 @@ __all__ = [
     "set_containment_join",
     "ValidationReport",
     "verify_join_result",
+    # planner
+    "Planner",
+    "Plan",
+    "Workload",
+    "plan",
+    "execute_plan",
+    "cost_profile",
     # observability
     "Tracer",
     "NullTracer",
@@ -109,4 +127,5 @@ __all__ = [
     "JoinTimeoutError",
     "RetryExhaustedError",
     "InjectedFaultError",
+    "PlanError",
 ]

@@ -6,6 +6,13 @@ drive this module: :func:`run_algorithm` executes one join and captures a
 algorithms and returns the series in the shape
 :mod:`repro.bench.reporting` renders.
 
+Planner accountability lives here too: :func:`run_planned` executes an
+auto-planned join and records the :class:`~repro.planner.plan.Plan`
+beside the timing, and :func:`planner_regret` compares the planner's
+choice against every measured alternative — regret 1.0 means the planner
+picked the fastest algorithm, 3.0 means something ran three times faster
+than its pick (``benchmarks/test_planner_regret.py`` gates on this).
+
 Datasets are cached per configuration within a process, so a figure's
 several algorithm runs measure the same bytes, exactly as the paper does.
 """
@@ -17,12 +24,22 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.core.base import JoinResult, JoinStats
-from repro.core.registry import make_algorithm
+from repro.core.registry import execute_plan, make_algorithm
+from repro.core.registry import plan as plan_join
 from repro.datagen.synthetic import SyntheticConfig, generate_pair
 from repro.obs.tracer import Tracer, use
+from repro.planner.plan import Plan, Workload
 from repro.relations.relation import Relation
 
-__all__ = ["RunRecord", "run_algorithm", "dataset_pair", "sweep", "clear_dataset_cache"]
+__all__ = [
+    "RunRecord",
+    "run_algorithm",
+    "run_planned",
+    "planner_regret",
+    "dataset_pair",
+    "sweep",
+    "clear_dataset_cache",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,6 +55,11 @@ class RunRecord:
         phases: Per-phase wall-time breakdown of the median run
             (``{"build": ..., "probe": ...}``, see ``docs/OBSERVABILITY.md``)
             when the run was traced; ``None`` otherwise.
+        plan: The :class:`~repro.planner.plan.Plan` the run executed, when
+            it went through the planner (:func:`run_planned`); ``None``
+            for classic fixed-algorithm runs.  Keeping the plan beside the
+            timing is what makes planner *regret* measurable after the
+            fact.
     """
 
     algorithm: str
@@ -45,6 +67,7 @@ class RunRecord:
     stats: JoinStats
     pairs: int
     phases: dict[str, float] | None = None
+    plan: Plan | None = None
 
 
 def run_algorithm(
@@ -89,6 +112,52 @@ def run_algorithm(
         pairs=len(result),
         phases=phases,
     )
+
+
+def run_planned(
+    r: Relation,
+    s: Relation,
+    workload: Workload | None = None,
+    repeats: int = 1,
+    **kwargs,
+) -> RunRecord:
+    """Plan the join with the cost-based planner, execute it, keep the plan.
+
+    Planning happens once (it is deterministic for fixed statistics); the
+    execution is timed ``repeats`` times and the median kept, exactly as
+    :func:`run_algorithm` does, so planned and fixed-algorithm records
+    are directly comparable.
+    """
+    query_plan = plan_join(r, s, workload=workload, **kwargs)
+    runs: list[tuple[float, JoinResult]] = []
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        result = execute_plan(query_plan, r, s)
+        runs.append((time.perf_counter() - start, result))
+    runs.sort(key=lambda run: run[0])
+    seconds, result = runs[len(runs) // 2]
+    return RunRecord(
+        algorithm=query_plan.algorithm,
+        seconds=seconds,
+        stats=result.stats,
+        pairs=len(result),
+        plan=query_plan,
+    )
+
+
+def planner_regret(
+    planned: RunRecord,
+    alternatives: Sequence[RunRecord],
+) -> float:
+    """How much faster the best measured alternative was than the plan.
+
+    Returns ``planned.seconds / best_alternative_seconds`` with the
+    planned run itself included in the candidate pool, so the result is
+    always >= 1.0; 1.0 means the planner's pick was (also) the fastest.
+    """
+    candidates = [planned.seconds, *(record.seconds for record in alternatives)]
+    best = min(candidates)
+    return planned.seconds / best if best > 0 else 1.0
 
 
 _DATASET_CACHE: dict[SyntheticConfig, tuple[Relation, Relation]] = {}

@@ -5,6 +5,9 @@ Subcommands:
 * ``generate`` — write a synthetic or surrogate dataset to a text file;
 * ``stats`` — print Table III-style statistics of a dataset file;
 * ``join`` — run a set-containment join between two dataset files;
+* ``explain`` — print the cost-based planner's decision tree for a join
+  without running it (algorithm, signature length, executor, chunking,
+  each with cost estimates and rejected alternatives);
 * ``probe`` — build one index, then probe it with several query files
   (the build-once/probe-many serving path);
 * ``bench`` — run one of the paper's experiments and print its figure.
@@ -15,6 +18,8 @@ Examples::
     repro-scj generate --dataset flickr --size 2000 -o flickr.txt
     repro-scj stats r.txt
     repro-scj join r.txt s.txt --algorithm ptsj
+    repro-scj explain r.txt s.txt
+    repro-scj join r.txt s.txt --plan auto --workers 4 --explain
     repro-scj probe s.txt queries1.txt queries2.txt --algorithm ptsj
     repro-scj bench fig6c
 """
@@ -26,7 +31,14 @@ import sys
 import time
 
 from repro.bench import experiments, harness, memory, reporting
-from repro.core.registry import available_algorithms, prepare_index, set_containment_join
+from repro.core.registry import (
+    available_algorithms,
+    execute_plan,
+    plan as plan_join,
+    prepare_index,
+    set_containment_join,
+)
+from repro.planner import Workload
 from repro.datagen.realworld import SURROGATE_SPECS, make_surrogate
 from repro.datagen.synthetic import SyntheticConfig, generate_relation
 from repro.errors import ReproError
@@ -91,9 +103,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sample tracemalloc peaks per span "
                               "(implies tracing overhead)")
 
+    def add_workload(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--workers", type=int, default=1,
+                         help="worker processes available to the planner; "
+                              "above 1 it considers the partition-parallel "
+                              "executors")
+        cmd.add_argument("--memory-budget", type=int, default=None,
+                         metavar="TUPLES",
+                         help="largest relation slice that fits in memory; "
+                              "when |R|+|S| exceeds it the planner selects "
+                              "the disk-partitioned executor")
+        cmd.add_argument("--fault-tolerant", action="store_true",
+                         help="prefer the resilient executor (per-chunk "
+                              "retry/timeout/fallback) when a worker pool "
+                              "is used")
+
     stat = sub.add_parser("stats", help="print dataset statistics (Table III columns)")
     stat.add_argument("path", help="dataset file, one set per line")
     add_on_error(stat)
+
+    explain = sub.add_parser(
+        "explain",
+        help="print the planner's decision tree for a join without running it")
+    explain.add_argument("r", help="probe relation file (containing side)")
+    explain.add_argument("s", help="indexed relation file (contained side)")
+    add_on_error(explain)
+    explain.add_argument("--algorithm", default="auto",
+                         help="auto (planner chooses) or a pinned name: "
+                              f"{', '.join(available_algorithms())}")
+    explain.add_argument("--bits", type=int, default=None,
+                         help="signature length override (signature algorithms)")
+    explain.add_argument("--probe-batches", type=int, default=None,
+                         metavar="N",
+                         help="plan a prepare-once/probe-many workload of N "
+                              "probe batches instead of a one-shot join")
+    add_workload(explain)
+    explain.add_argument("--json", action="store_true",
+                         help="print the serialized plan as JSON instead of "
+                              "the tree")
 
     join = sub.add_parser("join", help="run a set-containment join R >= S")
     join.add_argument("r", help="probe relation file (containing side)")
@@ -122,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--no-fallback", action="store_true",
                       help="parallel strategy only: raise instead of probing "
                            "exhausted chunks in-process")
+    join.add_argument("--plan", choices=("auto",), default=None,
+                      help="plan the whole execution (algorithm, executor, "
+                           "chunking) with the cost-based planner from the "
+                           "workload flags below; overrides --strategy")
+    join.add_argument("--explain", action="store_true",
+                      help="print the planner's decision tree before running")
+    add_workload(join)
     join.add_argument("-o", "--output", help="write pairs to this file")
     add_observability(join)
 
@@ -235,6 +289,30 @@ def _report_observability(args: argparse.Namespace, tracer: Tracer | NullTracer,
             print(tracer.profiler.summary(phase))
 
 
+def _workload_from_args(args: argparse.Namespace) -> Workload:
+    """Build the planner's workload hints from the shared CLI flags."""
+    probe_batches = getattr(args, "probe_batches", None)
+    return Workload(
+        mode="probe_many" if probe_batches else "oneshot",
+        probe_batches=probe_batches or 1,
+        memory_budget_tuples=args.memory_budget,
+        workers=args.workers,
+        fault_tolerance=args.fault_tolerant,
+    )
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    r = _read_dataset(args.r, args.on_error)
+    s = _read_dataset(args.s, args.on_error)
+    kwargs = {}
+    if args.bits is not None:
+        kwargs["bits"] = args.bits
+    query_plan = plan_join(r, s, algorithm=args.algorithm,
+                           workload=_workload_from_args(args), **kwargs)
+    print(query_plan.to_json(indent=2) if args.json else query_plan.explain())
+    return 0
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     r = _read_dataset(args.r, args.on_error)
     s = _read_dataset(args.s, args.on_error)
@@ -245,7 +323,15 @@ def _cmd_join(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     start = time.perf_counter()
     with use(tracer):
-        result = _run_join_strategy(args, r, s, algorithm, kwargs)
+        if args.plan or args.explain:
+            query_plan = plan_join(r, s, algorithm=algorithm,
+                                   workload=_workload_from_args(args), **kwargs)
+            if args.explain:
+                print(query_plan.explain())
+                print()
+            result = execute_plan(query_plan, r, s)
+        else:
+            result = _run_join_strategy(args, r, s, algorithm, kwargs)
     elapsed = time.perf_counter() - start
     st = result.stats
     if tracer.registry is not None:
@@ -439,6 +525,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "stats": _cmd_stats,
+        "explain": _cmd_explain,
         "join": _cmd_join,
         "probe": _cmd_probe,
         "bench": _cmd_bench,

@@ -30,12 +30,26 @@ class DataGenError(ReproError):
     """Invalid synthetic data-generation configuration."""
 
 
-class ExternalMemoryError(ReproError):
-    """Failure in the disk-based partitioned join (I/O, partition sizing)."""
+class ExternalMemoryError(ReproError, ValueError):
+    """Failure in the disk-based partitioned join (I/O, partition sizing).
+
+    Also a :class:`ValueError`: invalid partition sizing is an invalid
+    argument, and every executor option error is catchable uniformly as
+    ``ValueError`` (see :mod:`repro.core.options`).
+    """
 
 
-class AlgorithmError(ReproError):
-    """Unknown algorithm name or invalid algorithm configuration."""
+class AlgorithmError(ReproError, ValueError):
+    """Unknown algorithm name or invalid algorithm configuration.
+
+    Also a :class:`ValueError` so that executor/planner option validation
+    (:mod:`repro.core.options`) surfaces uniformly whichever entry point
+    rejected the configuration.
+    """
+
+
+class PlanError(ReproError, ValueError):
+    """Invalid planner input (malformed workload hint or plan)."""
 
 
 class WorkerError(ReproError):

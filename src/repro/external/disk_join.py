@@ -21,8 +21,8 @@ import time
 from pathlib import Path
 
 from repro.core.base import JoinResult, JoinStats
+from repro.core.options import validate_max_tuples
 from repro.core.registry import make_algorithm
-from repro.errors import ExternalMemoryError
 from repro.obs.tracer import current_tracer
 from repro.external.partition import SpilledRelation
 from repro.relations.relation import Relation
@@ -53,12 +53,23 @@ class DiskPartitionedJoin:
         workdir: str | Path | None = None,
         **algorithm_kwargs,
     ) -> None:
-        if max_tuples <= 0:
-            raise ExternalMemoryError(f"max_tuples must be positive, got {max_tuples}")
+        validate_max_tuples(max_tuples)
         self.algorithm = algorithm
         self.max_tuples = max_tuples
         self.workdir = workdir
         self.algorithm_kwargs = algorithm_kwargs
+
+    @classmethod
+    def from_plan(cls, plan, workdir: str | Path | None = None) -> "DiskPartitionedJoin":
+        """Build this executor from a :class:`~repro.planner.plan.Plan`.
+
+        The plan's ``max_tuples`` executor option (the planner derives it
+        from ``Workload.memory_budget_tuples``) sizes the partitions; the
+        algorithm kwargs are forwarded verbatim.
+        """
+        return cls(
+            algorithm=plan.algorithm, workdir=workdir, **plan.options(), **plan.kwargs()
+        )
 
     def join(self, r: Relation, s: Relation) -> JoinResult:
         """Spill, then join every partition pair in memory.

@@ -28,8 +28,8 @@ import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.base import JoinResult, JoinStats, PreparedIndex
+from repro.core.options import validate_chunks, validate_start_method, validate_workers
 from repro.core.registry import make_algorithm
-from repro.errors import AlgorithmError
 from repro.external.partition import partition_relation
 from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation
@@ -125,20 +125,23 @@ class ParallelJoin:
         start_method: str | None = None,
         **algorithm_kwargs,
     ) -> None:
-        if workers <= 0:
-            raise AlgorithmError(f"workers must be positive, got {workers}")
-        if chunks is not None and chunks <= 0:
-            raise AlgorithmError(f"chunks must be positive, got {chunks}")
-        if start_method is not None and start_method not in multiprocessing.get_all_start_methods():
-            raise AlgorithmError(
-                f"unknown start method {start_method!r}; available: "
-                f"{multiprocessing.get_all_start_methods()}"
-            )
+        validate_workers(workers)
+        validate_chunks(chunks)
+        validate_start_method(start_method)
         self.algorithm = algorithm
         self.workers = workers
         self.chunks = chunks or workers
         self.start_method = start_method
         self.algorithm_kwargs = algorithm_kwargs
+
+    @classmethod
+    def from_plan(cls, plan) -> "ParallelJoin":
+        """Build this executor from a :class:`~repro.planner.plan.Plan`.
+
+        The plan's executor options (``workers``, ``chunks``) become
+        constructor options; its algorithm kwargs are forwarded verbatim.
+        """
+        return cls(algorithm=plan.algorithm, **plan.options(), **plan.kwargs())
 
     def prepare(self, s: Relation, probe_hint: Relation | None = None) -> PreparedIndex:
         """Build the one index every worker will share."""

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.base import JoinResult, JoinStats, PreparedIndex
+from repro.core.options import validate_timeout_seconds
 from repro.errors import (
     AlgorithmError,
     JoinTimeoutError,
@@ -172,8 +173,7 @@ class ResilientParallelJoin(ParallelJoin):
             start_method=start_method,
             **algorithm_kwargs,
         )
-        if timeout_seconds is not None and timeout_seconds <= 0:
-            raise AlgorithmError(f"timeout_seconds must be positive, got {timeout_seconds}")
+        validate_timeout_seconds(timeout_seconds)
         self.retry_policy = retry_policy or RetryPolicy()
         self.timeout_seconds = timeout_seconds
         self.fallback = fallback

@@ -57,6 +57,7 @@ __all__ = [
 #: The span taxonomy (documented in docs/OBSERVABILITY.md).  Tracers accept
 #: arbitrary names; these are the ones the built-in algorithms emit.
 PHASES = (
+    "plan",
     "build",
     "probe",
     "signature_filter",

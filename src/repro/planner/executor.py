@@ -1,0 +1,81 @@
+"""Plan execution: the one place a :class:`~repro.planner.plan.Plan` runs.
+
+``execute_plan`` dispatches on ``plan.executor`` and otherwise forwards
+the plan's recorded kwargs verbatim:
+
+* ``inline`` — ``make_algorithm(name, **kwargs).join(r, s)``, byte-for-
+  byte the classic path, so pinned plans reproduce explicit-algorithm
+  runs exactly (same ``JoinStats``, same pair order);
+* ``parallel`` / ``resilient`` — the Sec. VI partition-parallel
+  executors, index built once and probe chunks fanned out;
+* ``disk`` — the Sec. III-E4 disk-partitioned block nested loop.
+
+``prepare_from_plan`` covers the probe-many side: it returns the plan's
+algorithm as a reusable :class:`~repro.core.base.PreparedIndex`.
+
+Executor classes are imported lazily inside the dispatch functions: the
+planner package stays importable without dragging in multiprocessing or
+spill machinery, and no import cycle with :mod:`repro.core.registry`
+(which the parallel executors import) can form.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import JoinResult, PreparedIndex
+from repro.errors import PlanError
+from repro.planner.plan import Plan
+from repro.relations.relation import Relation
+
+__all__ = ["execute_plan", "prepare_from_plan"]
+
+
+def execute_plan(plan: Plan, r: Relation, s: Relation) -> JoinResult:
+    """Run ``plan`` against concrete relations.
+
+    Args:
+        plan: A plan from :class:`repro.planner.Planner` (or deserialized
+            via :meth:`Plan.from_json` — plans are a stable contract).
+        r: Probe relation (containing side).
+        s: Indexed relation (contained side).
+
+    Raises:
+        PlanError: If the plan names an executor this build cannot run
+            (only possible for hand-built plans; ``Plan.__post_init__``
+            validates planner output).
+    """
+    if plan.executor == "inline":
+        from repro.core.registry import make_algorithm
+
+        return make_algorithm(plan.algorithm, **plan.kwargs()).join(r, s)
+    if plan.executor == "parallel":
+        from repro.future.parallel import ParallelJoin
+
+        return ParallelJoin.from_plan(plan).join(r, s)
+    if plan.executor == "resilient":
+        from repro.future.resilient import ResilientParallelJoin
+
+        return ResilientParallelJoin.from_plan(plan).join(r, s)
+    if plan.executor == "disk":
+        from repro.external.disk_join import DiskPartitionedJoin
+
+        return DiskPartitionedJoin.from_plan(plan).join(r, s)
+    raise PlanError(
+        f"plan names unknown executor {plan.executor!r}"
+    )  # pragma: no cover - Plan.__post_init__ rejects these
+
+
+def prepare_from_plan(
+    plan: Plan, s: Relation, probe_hint: Relation | None = None
+) -> PreparedIndex:
+    """Build the reusable index a probe-many plan describes.
+
+    Every executor prepares the same in-memory index here — the prepared-
+    index API is inherently in-process (the index must outlive the call),
+    which is exactly why the planner routes ``probe_many`` workloads to
+    the inline executor.
+    """
+    from repro.core.registry import make_algorithm
+
+    return make_algorithm(plan.algorithm, **plan.kwargs()).prepare(
+        s, probe_hint=probe_hint
+    )

@@ -1,0 +1,476 @@
+"""The cost-based query planner: statistics + workload hints → a Plan.
+
+``Planner.plan`` consumes :class:`~repro.relations.stats.RelationStats`
+for both relations (never the records themselves — planning is O(1) once
+statistics exist) plus a :class:`~repro.planner.plan.Workload` hint, and
+emits an immutable :class:`~repro.planner.plan.Plan` with four decisions:
+
+1. **algorithm** — which registry algorithm runs.  Every algorithm with a
+   :class:`~repro.planner.profiles.CostProfile` is costed at this
+   workload; automatic choice is regime-gated cost selection: only the
+   paper's two production algorithms (PTSJ, PRETTI+) are auto-eligible,
+   and the boundary between them follows the empirically validated regime
+   rule (median cardinality vs. 2^5, Sec. V-C3/V-C5).  When the model
+   units disagree with the regime rule, the plan says so instead of
+   hiding it.
+2. **signature** — the Sec. III-D length ``b`` the signature algorithms
+   will derive, annotated with :func:`~repro.signatures.cost_model.
+   estimate_ptsj_cost` evaluations at ``b`` and at the rejected
+   neighbours ``b/2`` and ``2b`` (the Fig. 5 sweet-spot argument, run at
+   plan time).
+3. **executor** — in-process, partition-parallel (fail-fast or
+   resilient), or the Sec. III-E4 disk-partitioned nested loop, driven by
+   the memory budget and worker hints.
+4. **chunking** — how the probe side is split for the chosen executor.
+
+Decisions carry their cost estimates and every rejected alternative, so
+``plan.explain()`` renders an EXPLAIN-style tree and the bench harness
+can measure planner regret after the fact.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.tracer import current_tracer
+from repro.planner.plan import Alternative, CostEstimate, Decision, Plan, Workload
+from repro.planner.profiles import COST_PROFILES, CostProfile
+from repro.relations.stats import RelationStats
+from repro.signatures.length import SignatureLengthStrategy
+
+__all__ = ["Planner"]
+
+#: The auto-selection candidates: the paper's two production algorithms.
+AUTO_CANDIDATES = ("ptsj", "pretti+")
+
+#: The Sec. V-C3 regime boundary on the *median* set cardinality.
+REGIME_MEDIAN_CARDINALITY = 32
+
+_EMPTY_STATS = RelationStats(0, 0.0, 0.0, 0, 0, 0, 0, 0)
+
+
+class Planner:
+    """Plans set-containment joins from statistics and workload hints.
+
+    Args:
+        length_strategy: The Sec. III-D signature-length rule used for the
+            signature decision (defaults to the paper's parameters).
+        profiles: Cost-profile registry; defaults to the package's
+            :data:`~repro.planner.profiles.COST_PROFILES`.
+    """
+
+    def __init__(
+        self,
+        length_strategy: SignatureLengthStrategy | None = None,
+        profiles: dict[str, CostProfile] | None = None,
+    ) -> None:
+        self.length_strategy = length_strategy or SignatureLengthStrategy()
+        self.profiles = profiles if profiles is not None else COST_PROFILES
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        r_stats: RelationStats | None,
+        s_stats: RelationStats,
+        workload: Workload | None = None,
+        algorithm: str | None = None,
+        algorithm_kwargs: dict | None = None,
+    ) -> Plan:
+        """Produce a :class:`Plan` for joining ``R ⋈⊇ S``.
+
+        Args:
+            r_stats: Probe-side statistics; ``None`` for a prepare-only
+                workload with no probe hint (the indexed side's own
+                statistics stand in, exactly as the algorithms' internal
+                Sec. III-D parameter selection does).
+            s_stats: Indexed-side statistics.
+            workload: Usage hints; defaults to a one-shot join.
+            algorithm: Pre-pinned algorithm name (already registry-
+                canonical); ``None`` lets the planner choose.
+            algorithm_kwargs: Constructor kwargs forwarded verbatim to the
+                algorithm (pinned plans keep runs bit-for-bit identical).
+
+        The whole call runs under a ``plan`` tracer span, so traces show
+        planning time and the chosen path beside build/probe.
+        """
+        workload = workload or Workload()
+        kwargs = dict(algorithm_kwargs or {})
+        tracer = current_tracer()
+        with tracer.span("plan"):
+            effective_r = r_stats if r_stats is not None else s_stats
+            if effective_r is None:  # pragma: no cover - s_stats is required
+                effective_r = _EMPTY_STATS
+            bits = self._signature_bits(r_stats, s_stats, kwargs)
+            algo_decision = self._decide_algorithm(
+                effective_r, s_stats, workload, bits, algorithm
+            )
+            chosen = algo_decision.choice
+            decisions = [algo_decision]
+            decisions.append(
+                self._decide_signature(effective_r, s_stats, chosen, bits, kwargs)
+            )
+            chosen_cost = algo_decision.cost
+            executor_decision, executor, executor_options = self._decide_executor(
+                effective_r, s_stats, workload, chosen_cost
+            )
+            decisions.append(executor_decision)
+            chunk_decision, chunk_options = self._decide_chunking(
+                effective_r, s_stats, workload, executor
+            )
+            decisions.append(chunk_decision)
+            executor_options.update(chunk_options)
+            plan = Plan(
+                algorithm=chosen,
+                algorithm_kwargs=tuple(kwargs.items()),
+                executor=executor,
+                executor_options=tuple(executor_options.items()),
+                workload=workload,
+                decisions=tuple(decisions),
+                pinned=algorithm is not None,
+            )
+            if tracer.enabled:
+                tracer.count("plans")
+        return plan
+
+    # ------------------------------------------------------------------
+    # Decision: algorithm
+    # ------------------------------------------------------------------
+    def _estimate(
+        self, name: str, r: RelationStats, s: RelationStats, bits: int
+    ) -> CostEstimate | None:
+        profile = self.profiles.get(name)
+        if profile is None:
+            return None
+        return profile.estimate(r, s, bits)
+
+    def _decide_algorithm(
+        self,
+        r: RelationStats,
+        s: RelationStats,
+        workload: Workload,
+        bits: int,
+        pinned: str | None,
+    ) -> Decision:
+        estimates = {
+            name: profile.estimate(r, s, bits)
+            for name, profile in self.profiles.items()
+        }
+        if pinned is not None:
+            return Decision(
+                name="algorithm",
+                choice=pinned,
+                reason="pinned by caller; planner records but does not second-guess it",
+                cost=estimates.get(pinned),
+                rejected=(),
+                detail=(("median_cardinality", s.median_cardinality),),
+            )
+
+        regime_pick = s.recommended_algorithm()
+        median = s.median_cardinality
+        comparison = "<" if median < REGIME_MEDIAN_CARDINALITY else ">="
+        regime_reason = (
+            f"regime rule (Sec. V-C3/V-C5): median |s.set| = {median:g} "
+            f"{comparison} {REGIME_MEDIAN_CARDINALITY}"
+        )
+        chosen = regime_pick
+        chosen_cost = estimates.get(chosen)
+
+        rejected: list[Alternative] = []
+        runner_up = next(name for name in AUTO_CANDIDATES if name != chosen)
+        rejected.append(
+            Alternative(
+                choice=runner_up,
+                reason=f"{regime_reason} favours {chosen}",
+                cost=estimates.get(runner_up),
+            )
+        )
+        for name, profile in self.profiles.items():
+            if name in AUTO_CANDIDATES:
+                continue
+            rejected.append(
+                Alternative(choice=name, reason=profile.reject_reason, cost=estimates[name])
+            )
+        # Cheapest-by-model among ALL estimated algorithms; surfaced so a
+        # model/regime disagreement is visible rather than silently decided.
+        model_pick = min(estimates, key=lambda name: estimates[name].total)
+        detail: list[tuple[str, object]] = [
+            ("median_cardinality", median),
+            ("cardinality_skew", round(s.cardinality_skew, 3)
+             if s.cardinality_skew != float("inf") else "inf"),
+            ("model_cheapest", model_pick),
+        ]
+        if workload.mode == "probe_many" and chosen_cost is not None:
+            amortised = chosen_cost.build + workload.probe_batches * chosen_cost.probe
+            detail.append(("amortised_cost", round(amortised, 3)))
+        return Decision(
+            name="algorithm",
+            choice=chosen,
+            reason=f"{regime_reason}; model cost {chosen_cost.total:.3g}"
+            if chosen_cost is not None else regime_reason,
+            cost=chosen_cost,
+            rejected=tuple(rejected),
+            detail=tuple(detail),
+        )
+
+    # ------------------------------------------------------------------
+    # Decision: signature length
+    # ------------------------------------------------------------------
+    def _signature_bits(
+        self,
+        r: RelationStats | None,
+        s: RelationStats,
+        kwargs: dict,
+    ) -> int:
+        """The Sec. III-D length the signature algorithms will derive.
+
+        Mirrors ``SignatureJoinBase._choose_bits`` exactly: combined R+S
+        average cardinality when probe statistics exist (the one-shot
+        join path), the indexed side alone otherwise, over the hash
+        domain ``max_element + 1``.
+        """
+        explicit = kwargs.get("bits")
+        if explicit is not None:
+            return int(explicit)
+        total = s.total_elements
+        count = s.size
+        max_element = s.max_element
+        if r is not None:
+            total += r.total_elements
+            count += r.size
+            max_element = max(max_element, r.max_element)
+        avg_c = max(total / count, 1.0) if count else 1.0
+        domain = max(max_element + 1, 1)
+        return self.length_strategy.choose(avg_c, domain)
+
+    def _decide_signature(
+        self,
+        r: RelationStats,
+        s: RelationStats,
+        algorithm: str,
+        bits: int,
+        kwargs: dict,
+    ) -> Decision:
+        profile = self.profiles.get(algorithm)
+        if profile is not None and not profile.uses_signature:
+            return Decision(
+                name="signature",
+                choice="none",
+                reason=f"{algorithm} is intersection-based: exact inverted-list "
+                       "results, no signature filter to size",
+            )
+        explicit = kwargs.get("bits")
+        cost_at = lambda b: self._estimate(algorithm, r, s, b)  # noqa: E731
+        if explicit is not None:
+            derived = self._signature_bits(r, s, {})
+            return Decision(
+                name="signature",
+                choice=f"{explicit} bits",
+                reason="explicit bits pinned by caller",
+                cost=cost_at(int(explicit)),
+                rejected=(
+                    Alternative(
+                        choice=f"{derived} bits",
+                        reason="Sec. III-D strategy value, overridden by caller",
+                        cost=cost_at(derived),
+                    ),
+                ),
+            )
+        # The Fig. 5 sweet-spot argument evaluated at plan time: the
+        # strategy's b against its halved/doubled neighbours.
+        neighbours = []
+        for candidate, label in ((max(bits // 2, 8), "halved"), (bits * 2, "doubled")):
+            if candidate == bits:
+                continue
+            neighbours.append(
+                Alternative(
+                    choice=f"{candidate} bits",
+                    reason=f"{label} signature leaves the Sec. III-D sweet spot",
+                    cost=cost_at(candidate),
+                )
+            )
+        return Decision(
+            name="signature",
+            choice=f"{bits} bits",
+            reason="Sec. III-D strategy b = min(d, ratio*c*Int, cap); derived "
+                   "in-algorithm from the same statistics at build time",
+            cost=cost_at(bits),
+            rejected=tuple(neighbours),
+            detail=(("int_bits", self.length_strategy.int_bits),
+                    ("ratio", self.length_strategy.ratio)),
+        )
+
+    # ------------------------------------------------------------------
+    # Decision: executor
+    # ------------------------------------------------------------------
+    def _decide_executor(
+        self,
+        r: RelationStats,
+        s: RelationStats,
+        workload: Workload,
+        algo_cost: CostEstimate | None,
+    ) -> tuple[Decision, str, dict]:
+        budget = workload.memory_budget_tuples
+        total_tuples = r.size + s.size
+        scaled = None
+        if algo_cost is not None and workload.workers > 1:
+            scaled = CostEstimate(
+                build=algo_cost.build, probe=algo_cost.probe / workload.workers
+            )
+
+        if workload.mode == "probe_many":
+            batches = workload.probe_batches
+            return (
+                Decision(
+                    name="executor",
+                    choice="inline",
+                    reason=f"prepare-once/probe-many: one index build amortised "
+                           f"over {batches} probe batch(es); prepared-index "
+                           "reuse, never a rebuild",
+                    cost=algo_cost,
+                    rejected=(
+                        Alternative(
+                            "parallel",
+                            "parallel executors rebuild per join call; the "
+                            "prepared index must outlive this plan",
+                        ),
+                        Alternative(
+                            "disk",
+                            "disk partitioning re-spills per join call; "
+                            "incompatible with index reuse",
+                        ),
+                    ),
+                    detail=(("probe_batches", batches), ("reused_index", True)),
+                ),
+                "inline",
+                {},
+            )
+
+        if budget is not None and total_tuples > budget:
+            return (
+                Decision(
+                    name="executor",
+                    choice="disk",
+                    reason=f"|R| + |S| = {total_tuples} tuples exceeds the "
+                           f"memory budget of {budget}; Sec. III-E4 "
+                           "disk-partitioned nested loop",
+                    cost=algo_cost,
+                    rejected=(
+                        Alternative(
+                            "inline",
+                            f"relations do not fit the {budget}-tuple budget",
+                        ),
+                        Alternative(
+                            "parallel",
+                            "worker pools multiply resident memory; the "
+                            "budget binds first",
+                            cost=scaled,
+                        ),
+                    ),
+                    detail=(("memory_budget_tuples", budget),
+                            ("total_tuples", total_tuples)),
+                ),
+                "disk",
+                {"max_tuples": budget},
+            )
+
+        if workload.workers > 1:
+            executor = "resilient" if workload.fault_tolerance else "parallel"
+            why_not_other = (
+                ("parallel", "fail-fast pool rejected: the workload asks for "
+                             "fault tolerance (retry/timeout/fallback)")
+                if workload.fault_tolerance
+                else ("resilient", "no fault-tolerance requested; fail-fast "
+                                   "pool has less bookkeeping")
+            )
+            return (
+                Decision(
+                    name="executor",
+                    choice=executor,
+                    reason=f"{workload.workers} workers hinted: one shared "
+                           "index build, probe chunks fanned out "
+                           f"(~{workload.workers}x probe parallelism)",
+                    cost=scaled,
+                    rejected=(
+                        Alternative(
+                            "inline",
+                            "single-process probing leaves hinted workers idle",
+                            cost=algo_cost,
+                        ),
+                        Alternative(why_not_other[0], why_not_other[1], cost=scaled),
+                        Alternative("disk", "relations fit in memory"),
+                    ),
+                    detail=(("workers", workload.workers),),
+                ),
+                executor,
+                {"workers": workload.workers},
+            )
+
+        return (
+            Decision(
+                name="executor",
+                choice="inline",
+                reason=f"|S| = {s.size} tuples indexes in-process; no budget "
+                       "pressure and a single worker hinted",
+                cost=algo_cost,
+                rejected=(
+                    Alternative("parallel", "workers hint is 1: pool startup "
+                                            "would cost more than it saves"),
+                    Alternative("disk", "no memory budget set"
+                                if budget is None else
+                                f"relations fit the {budget}-tuple budget"),
+                ),
+            ),
+            "inline",
+            {},
+        )
+
+    # ------------------------------------------------------------------
+    # Decision: chunking
+    # ------------------------------------------------------------------
+    def _decide_chunking(
+        self,
+        r: RelationStats,
+        s: RelationStats,
+        workload: Workload,
+        executor: str,
+    ) -> tuple[Decision, dict]:
+        if executor in ("parallel", "resilient"):
+            chunks = workload.workers
+            per_chunk = math.ceil(r.size / chunks) if r.size else 0
+            return (
+                Decision(
+                    name="chunking",
+                    choice=f"{chunks} probe chunk(s)",
+                    reason="one chunk per worker: chunks are retried/failed "
+                           "independently, and R ⋈⊇ S = ∪ᵢ (Rᵢ ⋈⊇ S)",
+                    detail=(("chunks", chunks), ("tuples_per_chunk", per_chunk)),
+                ),
+                {"chunks": chunks},
+            )
+        if executor == "disk":
+            budget = workload.memory_budget_tuples or max(r.size + s.size, 1)
+            r_parts = max(1, math.ceil(r.size / budget)) if r.size else 1
+            s_parts = max(1, math.ceil(s.size / budget)) if s.size else 1
+            return (
+                Decision(
+                    name="chunking",
+                    choice=f"{r_parts}x{s_parts} partition pairs",
+                    reason="block nested loop over spilled partitions; "
+                           "partition loads grow quadratically (Sec. III-E4)",
+                    detail=(("r_partitions", r_parts), ("s_partitions", s_parts),
+                            ("partition_loads", r_parts * s_parts + s_parts)),
+                ),
+                {},
+            )
+        return (
+            Decision(
+                name="chunking",
+                choice="single batch",
+                reason="in-process execution probes the whole relation in one "
+                       "streamed batch",
+                detail=(("probe_tuples", r.size),),
+            ),
+            {},
+        )

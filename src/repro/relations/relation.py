@@ -70,12 +70,15 @@ class Relation:
         RelationError: If two records share an id.
     """
 
-    __slots__ = ("_records", "_by_id", "name")
+    __slots__ = ("_records", "_by_id", "name", "_stats")
 
     def __init__(self, records: Iterable[SetRecord], name: str = "") -> None:
         self._records: tuple[SetRecord, ...] = tuple(records)
         self._by_id: dict[int, SetRecord] = {}
         self.name = name
+        # Memoized RelationStats; records are immutable, so the first
+        # compute_stats() call fills this and later calls never rescan.
+        self._stats = None
         for rec in self._records:
             if rec.rid in self._by_id:
                 raise RelationError(f"duplicate record id {rec.rid} in relation {name!r}")

@@ -20,10 +20,17 @@ import pytest
 from hypothesis import HealthCheck, given, seed, settings
 from hypothesis import strategies as st
 
-from repro.core.registry import available_algorithms, make_algorithm
+from repro.core.registry import (
+    available_algorithms,
+    execute_plan,
+    make_algorithm,
+    plan,
+    set_containment_join,
+)
 from repro.future.parallel import ParallelJoin
 from repro.future.resilient import ResilientParallelJoin, RetryPolicy
 from repro.obs import Tracer, use
+from repro.planner import Workload
 from repro.relations.relation import Relation, SetRecord
 
 ALL_ALGORITHMS = available_algorithms()
@@ -159,6 +166,49 @@ def test_resilient_pooled_matches_oracle():
     result = executor.join(r, s)
     assert set(result.pairs) == oracle(r, s)
     assert not result.stats.extras.get("fallback_chunks")
+
+
+@given(r_sets=relation_strategy, s_sets=relation_strategy)
+@seed(20150413)
+@DIFFERENTIAL_SETTINGS
+def test_auto_planned_join_matches_oracle(r_sets, s_sets):
+    """``join(r, s)`` with no algorithm routes through the planner."""
+    r = build_relation(r_sets)
+    s = build_relation(s_sets, start_id=100)
+    result = set_containment_join(r, s)
+    assert set(result.pairs) == oracle(r, s)
+    # The same plan, taken explicitly, reproduces the same pairs.
+    query_plan = plan(r, s)
+    assert not query_plan.pinned
+    assert set(execute_plan(query_plan, r, s).pairs) == oracle(r, s)
+
+
+@given(r_sets=relation_strategy, s_sets=relation_strategy)
+@seed(20150413)
+@DIFFERENTIAL_SETTINGS
+def test_budgeted_plan_matches_oracle(r_sets, s_sets):
+    """A tight memory budget routes through the disk executor; same pairs."""
+    r = build_relation(r_sets)
+    s = build_relation(s_sets, start_id=100)
+    query_plan = plan(r, s, workload=Workload(memory_budget_tuples=4))
+    if len(r) + len(s) > 4:
+        assert query_plan.executor == "disk"
+    assert set(execute_plan(query_plan, r, s).pairs) == oracle(r, s)
+
+
+def test_parallel_plan_matches_oracle():
+    """A workers hint routes through the pool; one real run per method."""
+    from .conftest import random_relation
+
+    r = random_relation(60, 9, 40, seed=35)
+    s = random_relation(60, 6, 40, seed=36)
+    for workload, executor in (
+        (Workload(workers=2), "parallel"),
+        (Workload(workers=2, fault_tolerance=True), "resilient"),
+    ):
+        query_plan = plan(r, s, algorithm="ptsj", workload=workload)
+        assert query_plan.executor == executor
+        assert set(execute_plan(query_plan, r, s).pairs) == oracle(r, s)
 
 
 @pytest.mark.parametrize("name", ALL_ALGORITHMS)
