@@ -62,6 +62,7 @@ from repro.errors import (
     RelationError,
     ReproError,
     RetryExhaustedError,
+    SanitizerError,
     SignatureError,
     TrieError,
     WorkerError,
@@ -128,4 +129,5 @@ __all__ = [
     "RetryExhaustedError",
     "InjectedFaultError",
     "PlanError",
+    "SanitizerError",
 ]

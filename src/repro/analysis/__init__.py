@@ -1,0 +1,46 @@
+"""repro.analysis — project-specific static analysis + runtime sanitizer.
+
+Two enforcement layers for the contracts the test suite cannot see
+(``docs/ANALYSIS.md``):
+
+* :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — an AST lint
+  engine (``python -m repro.analysis`` / ``repro-scj lint``) with rules
+  ``RPR001``… covering the one-clock discipline, pickle-safety at the
+  process boundary, planner value-object immutability, JoinStats counter
+  discipline, determinism, and general exception/default hygiene.
+  Violations are suppressed inline with ``# repro: noqa RPRxxx <reason>``;
+  suppressions are counted and an unexplained one fails the run.
+* :mod:`repro.analysis.sanitizer` — runtime structural checks, enabled by
+  ``REPRO_SANITIZE=1``: tries, signature bitmaps, the inverted index and
+  prepared indexes are re-validated at their hook sites and a violation
+  raises :class:`~repro.errors.SanitizerError` with the offending node
+  path.
+"""
+
+from repro.analysis.engine import (
+    FileReport,
+    LintReport,
+    ModuleContext,
+    Rule,
+    Suppression,
+    Violation,
+    lint_paths,
+    lint_source,
+    main,
+)
+from repro.analysis.sanitizer import ENV_VAR as SANITIZE_ENV_VAR
+from repro.analysis.sanitizer import enabled as sanitizer_enabled
+
+__all__ = [
+    "Violation",
+    "Suppression",
+    "ModuleContext",
+    "Rule",
+    "FileReport",
+    "LintReport",
+    "lint_source",
+    "lint_paths",
+    "main",
+    "SANITIZE_ENV_VAR",
+    "sanitizer_enabled",
+]

@@ -1,0 +1,452 @@
+"""AST-based lint engine for project-specific contracts.
+
+The engine is deliberately small: it parses each Python file once, derives
+the dotted module name (``repro.core.base``) from the path so rules can be
+layer-scoped, collects ``# repro: noqa RPRxxx <reason>`` suppressions, and
+runs every registered rule over the tree.  Rules live in
+:mod:`repro.analysis.rules`; each one is a pure function from a
+:class:`ModuleContext` to an iterable of :class:`Violation`.
+
+Suppression contract (see ``docs/ANALYSIS.md``):
+
+* ``# repro: noqa RPR001 <reason>`` silences RPR001 on that line.
+* Several ids may be listed (``RPR001 RPR006 <reason>``); the reason is
+  whatever trails the last id and is *required* — a suppression without a
+  reason is counted as *unexplained* and fails the run just like a
+  violation would.
+* Suppressions are never free: the engine counts them and reports every
+  one in the summary so reviewers see what has been waived and why.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Violation",
+    "Suppression",
+    "ModuleContext",
+    "Rule",
+    "FileReport",
+    "LintReport",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "module_name_for",
+    "main",
+    "run",
+]
+
+#: ``# repro: noqa RPR001 RPR006 seeded rng, deterministic per caller seed``
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\b(?P<rest>[^\n]*)", re.IGNORECASE)
+_RULE_ID_RE = re.compile(r"RPR\d{3}")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fixit: str
+
+    def render(self, show_fixit: bool = True) -> str:
+        text = f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
+        if show_fixit and self.fixit:
+            text += f"\n    fix: {self.fixit}"
+        return text
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# repro: noqa`` comment, explained or not."""
+
+    path: str
+    line: int
+    rule_ids: tuple[str, ...]  # empty tuple == blanket (all rules)
+    reason: str
+
+    @property
+    def explained(self) -> bool:
+        return bool(self.reason.strip())
+
+    def covers(self, rule_id: str) -> bool:
+        return not self.rule_ids or rule_id in self.rule_ids
+
+    def render(self) -> str:
+        ids = ", ".join(self.rule_ids) if self.rule_ids else "ALL"
+        reason = self.reason.strip() or "<no reason given>"
+        return f"{self.path}:{self.line}: noqa {ids} — {reason}"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one parsed module."""
+
+    path: str
+    module: str | None  # dotted name such as "repro.core.base", if derivable
+    tree: ast.Module
+    lines: list[str]
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the module sits under one of the dotted ``prefixes``.
+
+        Unknown modules (paths outside a ``repro`` tree) are treated as
+        *outside* every package, so layer-scoped bans apply to them —
+        the conservative reading for ad-hoc scripts.
+        """
+        if self.module is None:
+            return False
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+    def violation(
+        self, rule: "Rule", node: ast.AST, message: str | None = None
+    ) -> Violation:
+        return Violation(
+            rule_id=rule.id,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message or rule.title,
+            fixit=rule.fixit,
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule: id, human-readable contract, and checker."""
+
+    id: str
+    title: str
+    rationale: str
+    fixit: str
+    check: Callable[["Rule", ModuleContext], Iterator[Violation]]
+
+    def run(self, ctx: ModuleContext) -> Iterator[Violation]:
+        return self.check(self, ctx)
+
+
+@dataclass
+class FileReport:
+    """Lint outcome for one file: surviving violations + suppressions."""
+
+    path: str
+    violations: list[Violation] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+    suppressed: list[tuple[Violation, Suppression]] = field(default_factory=list)
+
+    @property
+    def unexplained(self) -> list[Suppression]:
+        return [s for s in self.suppressions if not s.explained]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.unexplained
+
+
+@dataclass
+class LintReport:
+    """Aggregate outcome across every linted file."""
+
+    files: list[FileReport] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[Violation]:
+        return [v for f in self.files for v in f.violations]
+
+    @property
+    def suppressions(self) -> list[Suppression]:
+        return [s for f in self.files for s in f.suppressions]
+
+    @property
+    def suppressed(self) -> list[tuple[Violation, Suppression]]:
+        return [pair for f in self.files for pair in f.suppressed]
+
+    @property
+    def unexplained(self) -> list[Suppression]:
+        return [s for f in self.files for s in f.unexplained]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.violations or self.unexplained else 0
+
+    def statistics(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for v in self.violations:
+            counts[v.rule_id] = counts.get(v.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def module_name_for(path: str) -> str | None:
+    """Derive ``repro.core.base`` from ``.../src/repro/core/base.py``.
+
+    Rules scope themselves by dotted module prefix, so the mapping only
+    needs to be right for files under a ``repro`` package root.  Returns
+    ``None`` for paths with no ``repro`` component.
+    """
+    parts = Path(path).parts
+    try:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return None
+    rel = parts[start:]
+    if not rel or not rel[-1].endswith(".py"):
+        return None
+    stem = rel[-1][: -len(".py")]
+    dotted = list(rel[:-1]) + ([] if stem == "__init__" else [stem])
+    return ".".join(dotted)
+
+
+def _parse_noqa(path: str, lines: Sequence[str]) -> dict[int, Suppression]:
+    table: dict[int, Suppression] = {}
+    for lineno, line in enumerate(lines, start=1):
+        m = _NOQA_RE.search(line)
+        if m is None:
+            continue
+        rest = m.group("rest")
+        ids = tuple(_RULE_ID_RE.findall(rest))
+        # The reason is everything after the last rule id (or the whole
+        # trailer when no ids are listed).
+        reason = rest
+        for rule_id in ids:
+            _, _, reason = reason.partition(rule_id)
+        table[lineno] = Suppression(
+            path=path, line=lineno, rule_ids=ids, reason=reason.strip(" :,-\t")
+        )
+    return table
+
+
+def _registered_rules(select: Sequence[str] | None = None) -> list[Rule]:
+    from repro.analysis.rules import ALL_RULES
+
+    if select is None:
+        return list(ALL_RULES)
+    wanted = set(select)
+    unknown = wanted - {r.id for r in ALL_RULES}
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return [r for r in ALL_RULES if r.id in wanted]
+
+
+def lint_source(
+    text: str,
+    path: str = "<string>",
+    *,
+    module: str | None = None,
+    select: Sequence[str] | None = None,
+) -> FileReport:
+    """Lint one source string.  The test-fixture entry point.
+
+    ``module`` overrides path-derived module resolution so fixtures can
+    pose as any layer (e.g. ``module="repro.future.parallel"``).
+    """
+    report = FileReport(path=path)
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        report.violations.append(
+            Violation(
+                rule_id="RPR000",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+                fixit="fix the syntax error; unparseable files cannot be linted",
+            )
+        )
+        return report
+
+    lines = text.splitlines()
+    ctx = ModuleContext(
+        path=path,
+        module=module if module is not None else module_name_for(path),
+        tree=tree,
+        lines=lines,
+    )
+    noqa = _parse_noqa(path, lines)
+    report.suppressions.extend(noqa.values())
+
+    for rule in _registered_rules(select):
+        for violation in rule.run(ctx):
+            suppression = noqa.get(violation.line)
+            if suppression is not None and suppression.covers(violation.rule_id):
+                report.suppressed.append((violation, suppression))
+            else:
+                report.violations.append(violation)
+    report.violations.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    return report
+
+
+def iter_python_files(paths: Iterable[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {raw}")
+    return files
+
+
+def lint_paths(
+    paths: Iterable[str], *, select: Sequence[str] | None = None
+) -> LintReport:
+    report = LintReport()
+    for file in iter_python_files(paths):
+        text = file.read_text(encoding="utf-8")
+        report.files.append(lint_source(text, str(file), select=select))
+    return report
+
+
+def _render_text(report: LintReport, *, statistics: bool, out) -> None:
+    for violation in report.violations:
+        print(violation.render(), file=out)
+    for suppression in report.unexplained:
+        print(
+            f"{suppression.path}:{suppression.line}: RPR999 unexplained "
+            "suppression: '# repro: noqa' requires a reason after the rule ids",
+            file=out,
+        )
+    if statistics:
+        for rule_id, count in report.statistics().items():
+            print(f"{rule_id:8s} {count}", file=out)
+    n_v = len(report.violations)
+    n_s = len(report.suppressed)
+    n_u = len(report.unexplained)
+    n_f = len(report.files)
+    print(
+        f"{n_v} violation(s), {n_s} suppressed ({n_u} unexplained) "
+        f"across {n_f} file(s)",
+        file=out,
+    )
+    if n_s:
+        print("suppressions in effect:", file=out)
+        for _, suppression in report.suppressed:
+            print(f"  {suppression.render()}", file=out)
+
+
+def _render_json(report: LintReport, out) -> None:
+    payload = {
+        "violations": [
+            {
+                "rule": v.rule_id,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+                "fixit": v.fixit,
+            }
+            for v in report.violations
+        ],
+        "suppressed": [
+            {
+                "rule": v.rule_id,
+                "path": v.path,
+                "line": v.line,
+                "reason": s.reason,
+            }
+            for v, s in report.suppressed
+        ],
+        "unexplained_suppressions": [
+            {"path": s.path, "line": s.line, "rules": list(s.rule_ids)}
+            for s in report.unexplained
+        ],
+        "statistics": report.statistics(),
+        "files": len(report.files),
+        "exit_code": report.exit_code,
+    }
+    json.dump(payload, out, indent=2)
+    print(file=out)
+
+
+def list_rules(out) -> None:
+    for rule in _registered_rules():
+        print(f"{rule.id}  {rule.title}", file=out)
+        print(f"        {rule.rationale}", file=out)
+        print(f"        fix: {rule.fixit}", file=out)
+
+
+def build_arg_parser():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-scj lint",
+        description="Project-specific AST lint for the repro codebase "
+        "(see docs/ANALYSIS.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RPRxxx",
+        help="run only the listed rule ids (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print per-rule violation counts",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point for ``python -m repro.analysis``; returns the exit code."""
+    parser = build_arg_parser()
+    return run(parser.parse_args(argv), out=out)
+
+
+def run(args, out=None) -> int:
+    """Run the linter from a parsed namespace (shared with ``repro-scj lint``).
+
+    Expects the attributes :func:`build_arg_parser` defines: ``paths``,
+    ``select``, ``format``, ``statistics``, ``list_rules``.
+    """
+    out = out if out is not None else sys.stdout
+    if args.list_rules:
+        list_rules(out)
+        return 0
+
+    select: list[str] | None = None
+    if args.select:
+        select = [s for chunk in args.select for s in chunk.split(",") if s]
+
+    try:
+        report = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        _render_json(report, out)
+    else:
+        _render_text(report, statistics=args.statistics, out=out)
+    return report.exit_code

@@ -1,0 +1,38 @@
+"""Rule registry for :mod:`repro.analysis`.
+
+Each rule module exposes one or more :class:`~repro.analysis.engine.Rule`
+instances in a module-level ``RULES`` tuple; this package concatenates
+them into ``ALL_RULES`` in id order.  To add a rule (``docs/ANALYSIS.md``
+walks through an example): write a checker ``def check(rule, ctx)`` that
+yields :class:`~repro.analysis.engine.Violation` objects, wrap it in a
+``Rule`` with the next free ``RPRxxx`` id, append it to a ``RULES`` tuple
+here, and cover it with a bad/good fixture pair under
+``tests/analysis_fixtures/``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (
+    clocks,
+    counters,
+    determinism,
+    hygiene,
+    immutability,
+    pickling,
+)
+
+ALL_RULES = tuple(
+    sorted(
+        (
+            *clocks.RULES,
+            *pickling.RULES,
+            *immutability.RULES,
+            *hygiene.RULES,
+            *determinism.RULES,
+            *counters.RULES,
+        ),
+        key=lambda rule: rule.id,
+    )
+)
+
+__all__ = ["ALL_RULES"]

@@ -1,0 +1,71 @@
+"""RPR001 — one-clock discipline.
+
+Every duration reported by :class:`~repro.core.base.JoinStats`, the span
+tracer, and the bench harness must come from the same monotonic source so
+phase trees and counters are comparable bit-for-bit (PR 3's "one clock").
+Reading ``time.time``/``perf_counter``/``monotonic`` anywhere outside
+:mod:`repro.obs` silently forks the timebase, so this rule bans it.
+``time.sleep`` is not a clock read and stays allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, Violation
+
+#: ``time`` attributes that read a clock; ``sleep`` deliberately absent.
+CLOCK_READS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: Packages allowed to read ``time`` directly: the obs layer owns the clock.
+ALLOWED_PACKAGES = ("repro.obs",)
+
+
+def check_one_clock(rule: Rule, ctx: ModuleContext) -> Iterator[Violation]:
+    if ctx.in_package(*ALLOWED_PACKAGES):
+        return
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "time"
+            and node.attr in CLOCK_READS
+        ):
+            yield ctx.violation(
+                rule, node, f"clock read 'time.{node.attr}' outside repro.obs"
+            )
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in CLOCK_READS:
+                    yield ctx.violation(
+                        rule,
+                        node,
+                        f"clock import 'from time import {alias.name}' "
+                        "outside repro.obs",
+                    )
+
+
+RULES = (
+    Rule(
+        id="RPR001",
+        title="clock read outside repro.obs (one-clock discipline)",
+        rationale="JoinStats timings, tracer spans and bench records must "
+        "share one monotonic source; a stray time.perf_counter() forks the "
+        "timebase and makes phase trees incomparable.",
+        fixit="import perf_counter/monotonic/wall_clock from repro.obs.clock "
+        "instead of reading the time module directly",
+        check=check_one_clock,
+    ),
+)

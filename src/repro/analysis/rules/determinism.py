@@ -1,0 +1,75 @@
+"""RPR006 — determinism: randomness stays in datagen and testing.
+
+The differential harness, the golden-file regression suite and the
+fault-injection drills all depend on bit-for-bit reproducibility: the same
+seed must produce the same relations, the same fault schedule, the same
+JoinStats.  ``random`` / ``numpy.random`` usage is therefore confined to
+:mod:`repro.datagen` (seeded generators) and :mod:`repro.testing`
+(deterministic fault schedules).  A seeded, caller-controlled RNG
+elsewhere may be waived with an explained ``# repro: noqa RPR006``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, Violation
+
+ALLOWED_PACKAGES = ("repro.datagen", "repro.testing")
+
+RANDOM_MODULES = frozenset({"random", "secrets"})
+NUMPY_ALIASES = frozenset({"numpy", "np"})
+
+
+def check_determinism(rule: Rule, ctx: ModuleContext) -> Iterator[Violation]:
+    if ctx.in_package(*ALLOWED_PACKAGES):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in RANDOM_MODULES or alias.name == "numpy.random":
+                    yield ctx.violation(
+                        rule,
+                        node,
+                        f"import of '{alias.name}' outside repro.datagen / "
+                        "repro.testing",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and (
+                node.module.split(".")[0] in RANDOM_MODULES
+                or node.module.startswith("numpy.random")
+            ):
+                yield ctx.violation(
+                    rule,
+                    node,
+                    f"import from '{node.module}' outside repro.datagen / "
+                    "repro.testing",
+                )
+        elif (
+            isinstance(node, ast.Attribute)
+            and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in NUMPY_ALIASES
+        ):
+            yield ctx.violation(
+                rule,
+                node,
+                "numpy.random usage outside repro.datagen / repro.testing",
+            )
+
+
+RULES = (
+    Rule(
+        id="RPR006",
+        title="randomness outside repro.datagen / repro.testing",
+        rationale="the differential, golden and fault-injection suites "
+        "require bit-for-bit reproducibility; an unseeded RNG anywhere else "
+        "makes failures unreproducible.",
+        fixit="move the randomness into repro.datagen, or accept an rng/seed "
+        "from the caller; a seeded deterministic use may be waived with "
+        "'# repro: noqa RPR006 <reason>'",
+        check=check_determinism,
+    ),
+)

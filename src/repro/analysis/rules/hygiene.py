@@ -1,0 +1,107 @@
+"""RPR004 / RPR005 / RPR008 — general hygiene rules.
+
+* RPR004: mutable default arguments (``def f(xs=[])``) — the default is
+  evaluated once and shared across calls, which corrupts cached prepared
+  indexes and stats accumulators in ways that only show up on reuse.
+* RPR005: bare ``except:`` — swallows ``KeyboardInterrupt`` and
+  ``SystemExit``, which turns Ctrl-C during a long probe into a hang and
+  hides worker shutdown in the resilient executor.
+* RPR008: exception handlers whose entire body is ``pass`` — a fault that
+  is neither counted, logged, nor re-raised contradicts the stats-extras
+  accounting contract from PR 2 (every fallback and retry is counted).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, Violation
+
+MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in MUTABLE_CALLS
+    )
+
+
+def check_mutable_defaults(rule: Rule, ctx: ModuleContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield ctx.violation(
+                    rule,
+                    default,
+                    "mutable default argument is shared across every call",
+                )
+
+
+def check_bare_except(rule: Rule, ctx: ModuleContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield ctx.violation(
+                rule,
+                node,
+                "bare 'except:' also catches KeyboardInterrupt/SystemExit",
+            )
+
+
+def check_swallowed_exception(rule: Rule, ctx: ModuleContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.ExceptHandler)
+            and len(node.body) == 1
+            and isinstance(node.body[0], ast.Pass)
+        ):
+            yield ctx.violation(
+                rule,
+                node,
+                "exception handler swallows the error without counting, "
+                "logging or re-raising",
+            )
+
+
+RULES = (
+    Rule(
+        id="RPR004",
+        title="mutable default argument",
+        rationale="defaults are evaluated once at def time; a shared "
+        "list/dict default leaks state between calls — fatal for anything "
+        "cached or reused (prepared indexes, stats accumulators).",
+        fixit="default to None and create the list/dict inside the function "
+        "body",
+        check=check_mutable_defaults,
+    ),
+    Rule(
+        id="RPR005",
+        title="bare 'except:' clause",
+        rationale="bare except also traps KeyboardInterrupt and SystemExit, "
+        "turning Ctrl-C during a long probe into a hang and hiding pool "
+        "shutdown in the resilient executor.",
+        fixit="catch the narrowest exception that can actually occur "
+        "(at minimum 'except Exception:')",
+        check=check_bare_except,
+    ),
+    Rule(
+        id="RPR008",
+        title="silently swallowed exception",
+        rationale="PR 2's accounting contract: every fault is counted in "
+        "stats.extras or re-raised; an 'except X: pass' handler hides a "
+        "failure mode from both the tests and the operator.",
+        fixit="count the event (stats/extras/metrics), log it, or re-raise; "
+        "if truly benign, say why with '# repro: noqa RPR008 <reason>'",
+        check=check_swallowed_exception,
+    ),
+)

@@ -1,0 +1,84 @@
+"""RPR003 — plan immutability.
+
+:class:`~repro.planner.plan.Plan`, :class:`Decision`,
+:class:`CostEstimate`, :class:`Alternative` and :class:`Workload` are
+frozen dataclasses: a plan handed to ``execute_plan`` must describe the
+same join when it is explained, serialized, or re-executed.  The only
+module allowed to sidestep freezing (``object.__setattr__`` inside
+``__post_init__``) is :mod:`repro.planner.plan` itself.  This rule flags
+both the escape hatch and plain attribute assignment on values that are
+conventionally plans or decisions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, Violation
+
+#: Variable names that conventionally hold planner value objects.
+PLAN_NAMES = frozenset(
+    {"plan", "query_plan", "decision", "workload", "cost_estimate", "alternative"}
+)
+
+ALLOWED_MODULE = "repro.planner.plan"
+
+
+def _is_plan_name(name: str) -> bool:
+    return name in PLAN_NAMES or name.endswith("_plan") or name.endswith("_decision")
+
+
+def _assigned_attribute_targets(node: ast.AST) -> Iterator[ast.Attribute]:
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Attribute):
+                yield target
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        if isinstance(node.target, ast.Attribute):
+            yield node.target
+
+
+def check_plan_immutability(rule: Rule, ctx: ModuleContext) -> Iterator[Violation]:
+    if ctx.module == ALLOWED_MODULE:
+        return
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__setattr__"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "object"
+        ):
+            yield ctx.violation(
+                rule,
+                node,
+                "object.__setattr__ outside repro.planner.plan defeats "
+                "frozen-dataclass immutability",
+            )
+            continue
+        for target in _assigned_attribute_targets(node):
+            if isinstance(target.value, ast.Name) and _is_plan_name(
+                target.value.id
+            ):
+                yield ctx.violation(
+                    rule,
+                    target,
+                    f"attribute assignment on '{target.value.id}.{target.attr}' "
+                    "— Plan/Decision/CostEstimate values are frozen",
+                )
+
+
+RULES = (
+    Rule(
+        id="RPR003",
+        title="mutation of a frozen planner value object",
+        rationale="a Plan must describe the same join when explained, "
+        "serialized or re-executed; mutating one (or using the "
+        "object.__setattr__ escape hatch outside planner/plan.py) breaks "
+        "that contract silently.",
+        fixit="build a new Plan/Decision with dataclasses.replace(...) or "
+        "the constructor instead of mutating the existing one",
+        check=check_plan_immutability,
+    ),
+)

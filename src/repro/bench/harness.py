@@ -19,7 +19,6 @@ several algorithm runs measure the same bytes, exactly as the paper does.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -27,6 +26,7 @@ from repro.core.base import JoinResult, JoinStats
 from repro.core.registry import execute_plan, make_algorithm
 from repro.core.registry import plan as plan_join
 from repro.datagen.synthetic import SyntheticConfig, generate_pair
+from repro.obs.clock import perf_counter
 from repro.obs.tracer import Tracer, use
 from repro.planner.plan import Plan, Workload
 from repro.relations.relation import Relation
@@ -95,13 +95,13 @@ def run_algorithm(
     for _ in range(max(repeats, 1)):
         algorithm = make_algorithm(name, **kwargs)
         tracer = Tracer(name=name) if trace else None
-        start = time.perf_counter()
+        start = perf_counter()
         if tracer is not None:
             with use(tracer):
                 result = algorithm.join(r, s)
         else:
             result = algorithm.join(r, s)
-        runs.append((time.perf_counter() - start, result, tracer))
+        runs.append((perf_counter() - start, result, tracer))
     runs.sort(key=lambda run: run[0])
     seconds, result, tracer = runs[len(runs) // 2]
     phases = tracer.phase_seconds() if tracer is not None else None
@@ -131,9 +131,9 @@ def run_planned(
     query_plan = plan_join(r, s, workload=workload, **kwargs)
     runs: list[tuple[float, JoinResult]] = []
     for _ in range(max(repeats, 1)):
-        start = time.perf_counter()
+        start = perf_counter()
         result = execute_plan(query_plan, r, s)
-        runs.append((time.perf_counter() - start, result))
+        runs.append((perf_counter() - start, result))
     runs.sort(key=lambda run: run[0])
     seconds, result = runs[len(runs) // 2]
     return RunRecord(

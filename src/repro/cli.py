@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.bench import experiments, harness, memory, reporting
 from repro.core.registry import (
@@ -42,6 +41,7 @@ from repro.planner import Workload
 from repro.datagen.realworld import SURROGATE_SPECS, make_surrogate
 from repro.datagen.synthetic import SyntheticConfig, generate_relation
 from repro.errors import ReproError
+from repro.obs.clock import perf_counter
 from repro.obs import (
     MetricsRegistry,
     NullTracer,
@@ -195,6 +195,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the pairs of every batch to this file")
     add_observability(probe)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-specific static analysis (docs/ANALYSIS.md)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--select", action="append", metavar="RPRxxx",
+                      help="run only the listed rule ids "
+                           "(repeatable, comma-separated)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="output format (default: text)")
+    lint.add_argument("--statistics", action="store_true",
+                      help="print per-rule violation counts")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list every registered rule and exit")
+
     bench = sub.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
                        choices=("fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
@@ -321,7 +336,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         kwargs["bits"] = args.bits
     algorithm = args.algorithm
     tracer = _make_tracer(args)
-    start = time.perf_counter()
+    start = perf_counter()
     with use(tracer):
         if args.plan or args.explain:
             query_plan = plan_join(r, s, algorithm=algorithm,
@@ -332,7 +347,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
             result = execute_plan(query_plan, r, s)
         else:
             result = _run_join_strategy(args, r, s, algorithm, kwargs)
-    elapsed = time.perf_counter() - start
+    elapsed = perf_counter() - start
     st = result.stats
     if tracer.registry is not None:
         st.snapshot_registry(tracer.registry)
@@ -518,6 +533,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # The analysis package is self-contained and lazily imported: linting
+    # never drags in numpy or the multiprocessing machinery.
+    from repro.analysis.engine import run as lint_run
+
+    return lint_run(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -528,6 +551,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "join": _cmd_join,
         "probe": _cmd_probe,
+        "lint": _cmd_lint,
         "bench": _cmd_bench,
     }
     try:

@@ -35,11 +35,15 @@ makes every span a no-op, keeping the un-traced path unchanged.
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.analysis.sanitizer import (
+    maybe_check_prepared_index,
+    maybe_check_probe_accounting,
+)
+from repro.obs.clock import perf_counter
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation, SetRecord
@@ -248,9 +252,9 @@ class PreparedIndex(ABC):
         stats = self._new_probe_stats()
         tracer = current_tracer()
         with tracer.span("probe"):
-            start = time.perf_counter()
+            start = perf_counter()
             pairs = self._probe_all(r, stats)
-            stats.probe_seconds = time.perf_counter() - start
+            stats.probe_seconds = perf_counter() - start
             if tracer.enabled:
                 tracer.count("probe_batches")
                 tracer.count("probe_records", len(r))
@@ -266,6 +270,7 @@ class PreparedIndex(ABC):
         stats.extras["reused_index"] = 0 if self._probe_calls == 1 else 1
         result = JoinResult(pairs, stats)
         self._accumulate(stats)
+        maybe_check_probe_accounting(self, stats, len(r))
         return result
 
     def _probe_all(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
@@ -392,14 +397,15 @@ class SetContainmentJoin(ABC):
         """
         tracer = current_tracer()
         with tracer.span("build"):
-            start = time.perf_counter()
+            start = perf_counter()
             index = self._prepare(s, probe_hint)
-            index.build_seconds = time.perf_counter() - start
+            index.build_seconds = perf_counter() - start
             if tracer.enabled:
                 tracer.count("index_builds")
                 tracer.count("indexed_records", len(s))
                 tracer.count("index_nodes", index.index_nodes)
                 tracer.observe("build_seconds", index.build_seconds)
+        maybe_check_prepared_index(index)
         return index
 
     def join(self, r: Relation, s: Relation) -> JoinResult:

@@ -17,7 +17,6 @@ including the merge-identical-sets output expansion (Sec. III-E1).
 from __future__ import annotations
 
 import copy
-import time
 from abc import abstractmethod
 from typing import Any, Iterable, Iterator
 
@@ -28,6 +27,7 @@ from repro.core.base import (
     SetContainmentJoin,
 )
 from repro.obs.tracer import current_tracer
+from repro.obs.clock import perf_counter
 from repro.relations.relation import Relation, SetRecord
 from repro.signatures.hashing import ModuloScheme, SignatureScheme
 from repro.signatures.length import SignatureLengthStrategy
@@ -105,7 +105,7 @@ class SignaturePreparedIndex(PreparedIndex):
         tracer = current_tracer()
         if not tracer.enabled:
             return super()._probe_all(r, stats)
-        perf = time.perf_counter
+        perf = perf_counter
         signature = self.scheme.signature
         enumerate_groups = self._algorithm._enumerate_groups
         candidates_before = stats.candidates

@@ -28,7 +28,7 @@ order without cycles.
 from __future__ import annotations
 
 from importlib import import_module
-from typing import Callable
+from typing import Any, Callable
 
 from repro.core.base import JoinResult, PreparedIndex, SetContainmentJoin
 from repro.errors import AlgorithmError
@@ -105,7 +105,7 @@ def algorithm_class(name: str) -> Callable[..., SetContainmentJoin]:
     return getattr(import_module(module_path), class_name)
 
 
-def make_algorithm(name: str, **kwargs) -> SetContainmentJoin:
+def make_algorithm(name: str, **kwargs: Any) -> SetContainmentJoin:
     """Construct an algorithm by (case-insensitive) name or alias.
 
     Raises:
@@ -135,7 +135,7 @@ def plan(
     s: Relation,
     algorithm: str = "auto",
     workload: Workload | None = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> Plan:
     """Plan (without running) the join ``R ⋈⊇ S``.
 
@@ -185,7 +185,7 @@ def set_containment_join(
     s: Relation,
     algorithm: str = "auto",
     workload: Workload | None = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> JoinResult:
     """Compute ``R ⋈⊇ S``: all pairs with ``r.set ⊇ s.set``.
 
@@ -227,7 +227,7 @@ def prepare_index(
     s: Relation,
     algorithm: str = "auto",
     probe_hint: Relation | None = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> PreparedIndex:
     """Build a reusable containment index over ``S`` — the probe-many API.
 

@@ -9,7 +9,7 @@ any index structure.
 
 from __future__ import annotations
 
-import random
+import random  # repro: noqa RPR006 every use is Random(seed): the sampled oracle check is deterministic per seed
 from dataclasses import dataclass
 from typing import Iterable
 

@@ -52,6 +52,24 @@ class PlanError(ReproError, ValueError):
     """Invalid planner input (malformed workload hint or plan)."""
 
 
+class SanitizerError(ReproError):
+    """A runtime structural invariant was violated (``REPRO_SANITIZE=1``).
+
+    Raised by :mod:`repro.analysis.sanitizer` when a wrapped structure — a
+    Patricia/binary/set trie, a signature bitmap, the inverted index, or a
+    prepared index — fails one of its documented invariants.
+
+    Attributes:
+        path: Dotted path to the violating node (e.g. ``"root.left.right"``)
+            or structure component (e.g. ``"postings[3]"``), so the failure
+            pinpoints *where* the corruption sits, not just that it exists.
+    """
+
+    def __init__(self, message: str, path: str = "") -> None:
+        super().__init__(f"{message} (at {path})" if path else message)
+        self.path = path
+
+
 class WorkerError(ReproError):
     """A parallel-join worker failed (crashed, died, or returned bad data)."""
 

@@ -8,10 +8,10 @@ many set comparisons are saved."
 
 from __future__ import annotations
 
-import time
 
 from repro.core.base import JoinResult, JoinStats
 from repro.extensions.set_index import PatriciaSetIndex, build_patricia_index
+from repro.obs.clock import perf_counter
 from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation
 
@@ -30,7 +30,7 @@ def equality_join_on_index(r: Relation, index: PatriciaSetIndex) -> JoinResult:
     tracer = current_tracer()
     pairs: list[tuple[int, int]] = []
     with tracer.span("probe"):
-        start = time.perf_counter()
+        start = perf_counter()
         for rec in r:
             for group in index.equal_to(rec.elements):
                 stats.candidates += 1
@@ -38,7 +38,7 @@ def equality_join_on_index(r: Relation, index: PatriciaSetIndex) -> JoinResult:
                 for s_id in group.ids:
                     pairs.append((rec.rid, s_id))
             stats.node_visits += index.trie.visits_last_query
-        stats.probe_seconds = time.perf_counter() - start
+        stats.probe_seconds = perf_counter() - start
         if tracer.enabled:
             tracer.count("probe_records", len(r))
             tracer.count("pairs", len(pairs))

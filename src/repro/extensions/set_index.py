@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from repro.analysis.sanitizer import maybe_check_patricia_trie
 from repro.core.base import CandidateGroup
 from repro.core.framework import insert_into_groups
 from repro.errors import AlgorithmError
@@ -71,6 +72,7 @@ class PatriciaSetIndex:
         signature = self.scheme.signature
         for rec in relation:
             insert_into_groups(self.trie.insert(signature(rec.elements)), rec)
+        maybe_check_patricia_trie(self.trie)
 
     @classmethod
     def from_prepared(cls, prepared: "SignaturePreparedIndex") -> "PatriciaSetIndex":
@@ -119,6 +121,7 @@ class PatriciaSetIndex:
             SetRecord(rid, elements),
         )
         self._size += 1
+        maybe_check_patricia_trie(self.trie)
 
     def discard(self, rid: int, elements: frozenset[int]) -> bool:
         """Remove one tuple; returns ``True`` if it was indexed.
@@ -143,6 +146,7 @@ class PatriciaSetIndex:
                 if not groups:
                     self.trie.remove(signature)
                 self._size -= 1
+                maybe_check_patricia_trie(self.trie)
                 return True
         return False
 

@@ -14,11 +14,11 @@ serve containment *and* similarity workloads (the OLAP reuse argument).
 
 from __future__ import annotations
 
-import time
 
 from repro.core.base import JoinResult, JoinStats
 from repro.errors import AlgorithmError
 from repro.extensions.set_index import PatriciaSetIndex, build_patricia_index
+from repro.obs.clock import perf_counter
 from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation
 
@@ -40,7 +40,7 @@ def similarity_join_on_index(
     tracer = current_tracer()
     pairs: list[tuple[int, int]] = []
     with tracer.span("probe"):
-        start = time.perf_counter()
+        start = perf_counter()
         for rec in r:
             for group, _distance in index.within_hamming(rec.elements, threshold):
                 stats.candidates += 1
@@ -48,7 +48,7 @@ def similarity_join_on_index(
                 for s_id in group.ids:
                     pairs.append((rec.rid, s_id))
             stats.node_visits += index.trie.visits_last_query
-        stats.probe_seconds = time.perf_counter() - start
+        stats.probe_seconds = perf_counter() - start
         if tracer.enabled:
             tracer.count("probe_records", len(r))
             tracer.count("pairs", len(pairs))
@@ -82,7 +82,7 @@ def jaccard_join_on_index(
     tracer = current_tracer()
     pairs: list[tuple[int, int]] = []
     with tracer.span("probe"):
-        start = time.perf_counter()
+        start = perf_counter()
         for rec in r:
             query = rec.elements
             hamming_budget = int(len(query) * (1.0 - threshold) / threshold)
@@ -95,7 +95,7 @@ def jaccard_join_on_index(
                     for s_id in group.ids:
                         pairs.append((rec.rid, s_id))
             stats.node_visits += index.trie.visits_last_query
-        stats.probe_seconds = time.perf_counter() - start
+        stats.probe_seconds = perf_counter() - start
         if tracer.enabled:
             tracer.count("probe_records", len(r))
             tracer.count("pairs", len(pairs))

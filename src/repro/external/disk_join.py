@@ -17,7 +17,6 @@ reported here let that be observed as well.
 from __future__ import annotations
 
 import tempfile
-import time
 from pathlib import Path
 
 from repro.core.base import JoinResult, JoinStats
@@ -25,6 +24,7 @@ from repro.core.options import validate_max_tuples
 from repro.core.registry import make_algorithm
 from repro.obs.tracer import current_tracer
 from repro.external.partition import SpilledRelation
+from repro.obs.clock import perf_counter
 from repro.relations.relation import Relation
 
 __all__ = ["DiskPartitionedJoin", "disk_partitioned_join"]
@@ -88,12 +88,12 @@ class DiskPartitionedJoin:
         tracer = current_tracer()
         try:
             with tracer.span("spill"):
-                spill_start = time.perf_counter()
+                spill_start = perf_counter()
                 r_named = r if r.name else Relation(r.records, name="R")
                 s_named = s if s.name else Relation(s.records, name="S")
                 r_spill = SpilledRelation(r_named, workdir / "r", self.max_tuples)
                 s_spill = SpilledRelation(s_named, workdir / "s", self.max_tuples)
-                spill_seconds = time.perf_counter() - spill_start
+                spill_seconds = perf_counter() - spill_start
                 if tracer.enabled:
                     tracer.count("spilled_partitions", len(r_spill) + len(s_spill))
 

@@ -42,6 +42,7 @@ from typing import Callable
 
 from repro.core.base import JoinResult, JoinStats, PreparedIndex
 from repro.core.options import validate_timeout_seconds
+from repro.obs.clock import monotonic
 from repro.errors import (
     AlgorithmError,
     JoinTimeoutError,
@@ -314,7 +315,7 @@ class ResilientParallelJoin(ParallelJoin):
         task.attempts += 1
         future = pool.submit(_probe_chunk, task.chunk)
         if self.timeout_seconds is not None:
-            task.deadline = time.monotonic() + self.timeout_seconds
+            task.deadline = monotonic() + self.timeout_seconds
         pending[future] = task
 
     def _wait_round(self, pending: dict[Future, _ChunkTask]) -> set[Future]:
@@ -322,7 +323,7 @@ class ResilientParallelJoin(ParallelJoin):
         wait_timeout: float | None = None
         if self.timeout_seconds is not None:
             nearest = min(task.deadline for task in pending.values() if task.deadline)
-            wait_timeout = max(0.0, nearest - time.monotonic())
+            wait_timeout = max(0.0, nearest - monotonic())
         done, _ = wait(set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED)
         return done
 
@@ -376,7 +377,7 @@ class ResilientParallelJoin(ParallelJoin):
         """
         if self.timeout_seconds is None:
             return False
-        now = time.monotonic()
+        now = monotonic()
         overdue = [
             future
             for future, task in pending.items()

@@ -18,6 +18,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Iterable, Sequence
 
+from repro.analysis.sanitizer import maybe_check_inverted_index
 from repro.relations.relation import Relation
 
 __all__ = ["InvertedIndex", "intersect_sorted"]
@@ -113,6 +114,7 @@ class InvertedIndex:
         self.lists = lists
         self.all_ids = all_ids
         self._intersections = 0
+        maybe_check_inverted_index(self)
 
     def __len__(self) -> int:
         """Number of distinct indexed elements."""

@@ -14,6 +14,7 @@ Three cooperating pieces (see ``docs/OBSERVABILITY.md``):
   ``cProfile`` per phase.
 """
 
+from repro.obs.clock import monotonic, perf_counter, wall_clock
 from repro.obs.export import read_trace, render_tree, write_trace
 from repro.obs.metrics import (
     Counter,
@@ -36,6 +37,9 @@ from repro.obs.tracer import (
 
 __all__ = [
     "PHASES",
+    "perf_counter",
+    "monotonic",
+    "wall_clock",
     "Span",
     "Tracer",
     "NullTracer",

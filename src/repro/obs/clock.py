@@ -1,0 +1,32 @@
+"""The one clock: every timestamp in repro flows through this module.
+
+PR 3 established the "one clock" discipline — phase timings reported by
+:class:`~repro.core.base.JoinStats` and the tracer must come from the same
+monotonic source so span trees, ``build_seconds``/``probe_seconds`` and
+benchmark records are directly comparable.  This module is the single place
+outside the standard library where ``time`` is read; lint rule ``RPR001``
+(:mod:`repro.analysis.rules.clocks`) rejects any other call site.
+
+Three readings are exposed:
+
+* :func:`perf_counter` — high-resolution monotonic clock for phase
+  durations (spans, ``build_seconds``, ``probe_seconds``, bench records).
+* :func:`monotonic` — coarser monotonic clock for deadline arithmetic
+  (retry budgets in :mod:`repro.future.resilient`).
+* :func:`wall_clock` — epoch seconds, for human-facing timestamps in
+  exported artifacts only; never used for durations.
+
+``time.sleep`` is not a clock read and stays allowed everywhere.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+__all__ = ["perf_counter", "monotonic", "wall_clock"]
+
+# Direct aliases, not wrappers: the hot path calls perf_counter() twice per
+# probe batch and must not pay an extra Python frame.
+perf_counter = _time.perf_counter
+monotonic = _time.monotonic
+wall_clock = _time.time

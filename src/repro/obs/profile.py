@@ -71,10 +71,10 @@ class PhaseProfiler:
 
     def summary(self, phase: str, limit: int = 15) -> str:
         """Top ``limit`` functions by cumulative time for ``phase``."""
-        stats = self._stats.get(phase)
-        if stats is None:
+        captured = self._stats.get(phase)
+        if captured is None:
             return f"(no profile captured for phase {phase!r})"
         buffer = io.StringIO()
-        stats.stream = buffer  # type: ignore[attr-defined]
-        stats.sort_stats("cumulative").print_stats(limit)
+        captured.stream = buffer  # type: ignore[attr-defined]
+        captured.sort_stats("cumulative").print_stats(limit)
         return buffer.getvalue()

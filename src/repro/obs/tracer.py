@@ -37,6 +37,7 @@ spans into the parent's tree without cross-process plumbing.
 
 from __future__ import annotations
 
+import os
 import time
 import tracemalloc
 from contextlib import contextmanager
@@ -270,10 +271,25 @@ class Tracer:
     # Lifecycle
     # ------------------------------------------------------------------
     def finish(self) -> Span:
-        """Close the tracer: stop tracemalloc if this tracer started it."""
+        """Close the tracer: stop tracemalloc if this tracer started it.
+
+        Under ``REPRO_SANITIZE=1`` also verifies that every span handle
+        was exited — an unbalanced stack means some phase's time was
+        attributed to the wrong parent.
+        """
         if self._started_tracemalloc and tracemalloc.is_tracing():
             tracemalloc.stop()
             self._started_tracemalloc = False
+        if len(self._stack) != 1 and os.environ.get(
+            "REPRO_SANITIZE", ""
+        ).strip().lower() not in ("", "0", "false", "no", "off"):
+            from repro.errors import SanitizerError
+
+            open_spans = ".".join(span.name for span in self._stack[1:])
+            raise SanitizerError(
+                f"tracer finished with {len(self._stack) - 1} span(s) still "
+                "open", path=open_spans,
+            )
         return self.root
 
     def phase_seconds(self) -> dict[str, float]:

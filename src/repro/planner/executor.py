@@ -21,6 +21,7 @@ spill machinery, and no import cycle with :mod:`repro.core.registry`
 
 from __future__ import annotations
 
+from repro.analysis.sanitizer import maybe_check_plan
 from repro.core.base import JoinResult, PreparedIndex
 from repro.errors import PlanError
 from repro.planner.plan import Plan
@@ -43,6 +44,7 @@ def execute_plan(plan: Plan, r: Relation, s: Relation) -> JoinResult:
             (only possible for hand-built plans; ``Plan.__post_init__``
             validates planner output).
     """
+    maybe_check_plan(plan)
     if plan.executor == "inline":
         from repro.core.registry import make_algorithm
 

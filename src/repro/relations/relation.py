@@ -34,7 +34,7 @@ class SetRecord:
 
     def __post_init__(self) -> None:
         if not isinstance(self.elements, frozenset):
-            object.__setattr__(self, "elements", frozenset(self.elements))
+            object.__setattr__(self, "elements", frozenset(self.elements))  # repro: noqa RPR003 frozen SetRecord normalizing its own field in __post_init__, same escape hatch planner/plan.py uses
         if any((not isinstance(e, int)) or e < 0 for e in self.elements):
             raise RelationError(
                 f"record {self.rid}: elements must be non-negative ints, "
@@ -196,7 +196,7 @@ class Relation:
 
     def sample(self, count: int, *, seed: int = 0) -> "Relation":
         """Uniform random sample of ``count`` records (without replacement)."""
-        import random
+        import random  # repro: noqa RPR006 Random(seed) below: sampling is deterministic for a caller-supplied seed
 
         if count >= len(self._records):
             return self

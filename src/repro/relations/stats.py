@@ -163,7 +163,7 @@ def compute_stats(relation: Relation) -> RelationStats:
     stats = _scan(relation)
     try:
         relation._stats = stats
-    except AttributeError:  # pragma: no cover - relation-like duck types
+    except AttributeError:  # pragma: no cover - relation-like duck types  # repro: noqa RPR008 best-effort memoization; slotted relation-likes just skip the cache
         pass
     return stats
 

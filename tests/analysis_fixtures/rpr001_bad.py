@@ -1,0 +1,10 @@
+"""RPR001 fixture (bad): clock reads outside repro.obs."""
+import time
+from time import perf_counter
+
+
+def measure_probe():
+    start = time.perf_counter()
+    wall = time.time()
+    tick = perf_counter()
+    return start, wall, tick

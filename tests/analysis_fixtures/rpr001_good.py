@@ -1,0 +1,10 @@
+"""RPR001 fixture (good): the one clock, plus time.sleep (not a read)."""
+import time
+
+from repro.obs.clock import perf_counter
+
+
+def measure_probe():
+    start = perf_counter()
+    time.sleep(0)
+    return perf_counter() - start

@@ -1,0 +1,13 @@
+"""RPR003 fixture (bad): mutating frozen planner value objects."""
+
+
+def retarget(plan, decision):
+    plan.algorithm = "shj"
+    decision.reason = "overridden"
+    object.__setattr__(plan, "executor", "disk")
+    return plan
+
+
+def bump(cost_estimate, fallback_plan):
+    cost_estimate.total += 1.0
+    fallback_plan.executor = "serial"

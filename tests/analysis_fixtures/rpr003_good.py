@@ -1,0 +1,14 @@
+"""RPR003 fixture (good): derive new planner values instead of mutating."""
+from dataclasses import replace
+
+
+def retarget(plan, decision):
+    new_plan = replace(plan, algorithm="shj", executor="disk")
+    new_decision = replace(decision, reason="overridden")
+    return new_plan, new_decision
+
+
+def bump(index):
+    # Attribute assignment on a non-plan name is out of scope for RPR003.
+    index.generation = index.generation + 1
+    return index

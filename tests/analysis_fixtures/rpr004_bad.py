@@ -1,0 +1,9 @@
+"""RPR004 fixture (bad): mutable default arguments."""
+
+
+def collect_pairs(pairs=[], seen={}):
+    return pairs, seen
+
+
+def configure(*, options=dict(), tags=set()):
+    return options, tags

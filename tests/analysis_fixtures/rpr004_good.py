@@ -1,0 +1,9 @@
+"""RPR004 fixture (good): None defaults, containers built per call."""
+
+
+def collect_pairs(pairs=None, seen=None):
+    return list(pairs or ()), dict(seen or {})
+
+
+def configure(*, options=None, tags=frozenset()):
+    return dict(options or {}), tags

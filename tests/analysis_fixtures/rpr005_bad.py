@@ -1,0 +1,8 @@
+"""RPR005 fixture (bad): bare except clause."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None

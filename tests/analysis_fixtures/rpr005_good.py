@@ -1,0 +1,8 @@
+"""RPR005 fixture (good): the narrowest plausible exception is caught."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None

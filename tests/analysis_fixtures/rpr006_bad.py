@@ -1,0 +1,12 @@
+"""RPR006 fixture (bad): randomness outside datagen/testing.
+
+Linted with ``module="repro.core.fixture"`` so the ban is in scope.
+"""
+import random
+import numpy as np
+from random import shuffle
+
+
+def jitter(values):
+    shuffle(values)
+    return [v + random.random() for v in values] + list(np.random.rand(3))

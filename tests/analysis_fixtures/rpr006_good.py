@@ -1,0 +1,10 @@
+"""RPR006 fixture (good): the caller supplies the (seeded) rng.
+
+Linted with ``module="repro.core.fixture"``; the same source linted as
+``module="repro.datagen.fixture"`` is also exercised with the bad twin.
+"""
+
+
+def jitter(values, rng):
+    order = sorted(values, key=lambda v: rng.random())
+    return [v + rng.random() for v in order]

@@ -1,0 +1,7 @@
+"""RPR007 fixture (bad): ad-hoc attributes invented on JoinStats objects."""
+
+
+def account(stats, chunk_stats):
+    stats.nodes_visited = 7
+    chunk_stats.total_pairs = 1
+    stats.retries += 1

@@ -1,0 +1,8 @@
+"""RPR007 fixture (good): documented counters and the extras escape hatch."""
+
+
+def account(stats, chunk_stats):
+    stats.node_visits = 7
+    chunk_stats.pairs = 1
+    stats.intersections += 1
+    stats.extras["retries"] = stats.extras.get("retries", 0) + 1

@@ -1,0 +1,8 @@
+"""RPR008 fixture (bad): a fault silently swallowed."""
+
+
+def drop_cache(index):
+    try:
+        index.invalidate()
+    except ValueError:
+        pass

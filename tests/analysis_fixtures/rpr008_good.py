@@ -1,0 +1,10 @@
+"""RPR008 fixture (good): the fault is counted before being tolerated."""
+
+
+def drop_cache(index, stats):
+    try:
+        index.invalidate()
+    except ValueError:
+        stats.extras["invalidate_failures"] = (
+            stats.extras.get("invalidate_failures", 0) + 1
+        )
