@@ -15,7 +15,7 @@ import pytest
 from benchmarks.figrecorder import RESULTS, run_and_record
 from repro.core.registry import make_algorithm
 from repro.datagen.synthetic import SyntheticConfig, generate_pair
-from repro.external.disk_join import DiskPartitionedJoin
+from repro.exec.disk import DiskPartitionedJoin
 
 FIGURE = "ablation: disk-partitioned PTSJ vs in-memory (partition-size sweep)"
 

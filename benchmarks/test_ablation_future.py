@@ -23,7 +23,7 @@ from benchmarks.figrecorder import RESULTS, run_and_record
 from repro.bench.harness import dataset_pair
 from repro.core.registry import make_algorithm
 from repro.datagen.synthetic import SyntheticConfig
-from repro.future.parallel import ParallelJoin
+from repro.exec.parallel import ParallelJoin
 
 FIGURE = "ablation: future-work variants (Sec. VI) vs PTSJ"
 

@@ -21,7 +21,7 @@ import pytest
 from benchmarks.figrecorder import RESULTS, run_and_record
 from repro.core.registry import make_algorithm
 from repro.datagen.synthetic import SyntheticConfig, generate_pair
-from repro.external.disk_join import DiskPartitionedJoin
+from repro.exec.disk import DiskPartitionedJoin
 from repro.external.psj import PickPartitionedSetJoin
 
 FIGURE = "ablation: out-of-core strategies (in-memory vs Sec. III-E4 nested loop vs PSJ pick partitioning)"

@@ -18,7 +18,7 @@ from repro.bench.harness import dataset_pair
 from repro.core.ptsj import PTSJ
 from repro.core.registry import make_algorithm
 from repro.datagen.synthetic import SyntheticConfig
-from repro.future.parallel import ParallelJoin
+from repro.exec.parallel import ParallelJoin
 
 FIGURE = "ablation: one index build across parallel chunks"
 

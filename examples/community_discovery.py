@@ -26,7 +26,7 @@ from collections import Counter
 from repro import set_containment_join
 from repro.bench.reporting import fmt_seconds
 from repro.datagen.realworld import orkut_surrogate
-from repro.external.disk_join import disk_partitioned_join
+from repro.exec import disk_partitioned_join
 from repro.extensions.set_index import PatriciaSetIndex
 from repro.extensions.superset import superset_join_on_index
 from repro.relations import compute_stats

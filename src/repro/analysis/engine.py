@@ -249,7 +249,7 @@ def lint_source(
     """Lint one source string.  The test-fixture entry point.
 
     ``module`` overrides path-derived module resolution so fixtures can
-    pose as any layer (e.g. ``module="repro.future.parallel"``).
+    pose as any layer (e.g. ``module="repro.exec.parallel"``).
     """
     report = FileReport(path=path)
     try:

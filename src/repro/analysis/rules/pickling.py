@@ -1,12 +1,14 @@
 """RPR002 — pickle-safety at the process boundary.
 
-Everything submitted to a pool in :mod:`repro.future` crosses a process
-boundary, and under the ``spawn`` start method (the CI matrix runs both
-``fork`` and ``spawn``) the callable is pickled by reference.  Lambdas,
-nested closures and bound methods are not picklable, so a submission that
-works under ``fork`` dies with a ``PicklingError`` under ``spawn`` — the
-exact regression PR 2's resilient executor exists to avoid.  Only
-module-level functions (``_probe_chunk``, ``_init_worker``) may cross.
+Everything submitted to a pool in :mod:`repro.exec` (and its historical
+home :mod:`repro.future`, kept in scope so the deprecation shims stay
+honest) crosses a process boundary, and under the ``spawn`` start method
+(the CI matrix runs both ``fork`` and ``spawn``) the callable is pickled
+by reference.  Lambdas, nested closures and bound methods are not
+picklable, so a submission that works under ``fork`` dies with a
+``PicklingError`` under ``spawn`` — the exact regression PR 2's resilient
+executor exists to avoid.  Only module-level functions (``_probe_chunk``,
+``_init_worker``, ``_join_shard``) may cross.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ SUBMIT_METHODS = frozenset({"submit", "map"})
 #: Keyword arguments that also ship a callable to workers.
 CALLABLE_KWARGS = frozenset({"initializer"})
 
-SCOPED_PACKAGES = ("repro.future",)
+SCOPED_PACKAGES = ("repro.exec", "repro.future")
 
 
 def _nested_function_names(tree: ast.Module) -> frozenset[str]:
@@ -89,7 +91,7 @@ RULES = (
     Rule(
         id="RPR002",
         title="unpicklable callable crosses the process boundary",
-        rationale="repro.future pools run under both fork and spawn; "
+        rationale="repro.exec pools run under both fork and spawn; "
         "lambdas, closures and bound methods pickle only by reference and "
         "fail under spawn, turning a green fork-only run into a production "
         "crash.",

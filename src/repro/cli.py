@@ -117,6 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="prefer the resilient executor (per-chunk "
                               "retry/timeout/fallback) when a worker pool "
                               "is used")
+        cmd.add_argument("--shards", type=int, default=None,
+                         help="partition the S-index into this many shards "
+                              "(selects the sharded scale-out executor; "
+                              "see docs/EXECUTORS.md)")
 
     stat = sub.add_parser("stats", help="print dataset statistics (Table III columns)")
     stat.add_argument("path", help="dataset file, one set per line")
@@ -155,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="execution strategy: in-memory (default), the "
                            "Sec. III-E4 disk-partitioned nested loop, the "
                            "PSJ-style pick partitioning, or multi-process")
+    join.add_argument("--executor", default=None,
+                      choices=("inline", "parallel", "resilient", "disk", "sharded"),
+                      help="run a specific repro.exec executor directly "
+                           "(overrides --strategy; uses --workers/--shards/"
+                           "--retries/--timeout-seconds; see "
+                           "docs/EXECUTORS.md)")
     join.add_argument("--partitions", type=int, default=8,
                       help="partition count (disk: tuples per partition "
                            "= |S| / partitions; psj/parallel: partitions)")
@@ -313,6 +323,7 @@ def _workload_from_args(args: argparse.Namespace) -> Workload:
         memory_budget_tuples=args.memory_budget,
         workers=args.workers,
         fault_tolerance=args.fault_tolerant,
+        shards=args.shards,
     )
 
 
@@ -345,6 +356,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
                 print(query_plan.explain())
                 print()
             result = execute_plan(query_plan, r, s)
+        elif args.executor:
+            result = _run_executor(args, r, s, algorithm, kwargs)
         else:
             result = _run_join_strategy(args, r, s, algorithm, kwargs)
     elapsed = perf_counter() - start
@@ -357,7 +370,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
           f"verifications {st.verifications}, node visits {st.node_visits})")
     degradation = {key: int(st.extras[key])
                    for key in ("retries", "timeouts", "fallback_chunks",
-                               "pool_restarts", "corrupt_chunks")
+                               "fallback_shards", "pool_restarts",
+                               "corrupt_chunks", "corrupt_shards")
                    if st.extras.get(key)}
     if degradation:
         print("degraded: " + ", ".join(f"{k}={v}" for k, v in degradation.items()),
@@ -371,6 +385,28 @@ def _cmd_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_executor(args: argparse.Namespace, r, s, algorithm: str, kwargs: dict):
+    """Run the executor ``--executor`` names, configured from the CLI flags."""
+    from repro.core.registry import choose_algorithm_name
+    from repro.exec import RetryPolicy, executor_class
+
+    if algorithm.strip().lower() == "auto":
+        algorithm = choose_algorithm_name(s)
+    options: dict = {}
+    if args.executor in ("parallel", "resilient", "sharded"):
+        options["workers"] = args.workers
+    if args.executor == "sharded" and args.shards is not None:
+        options["shards"] = args.shards
+    if args.executor in ("resilient", "sharded"):
+        options["retry_policy"] = RetryPolicy(max_attempts=max(1, args.retries + 1))
+        options["timeout_seconds"] = args.timeout_seconds
+        options["fallback"] = not args.no_fallback
+    if args.executor == "disk" and args.memory_budget is not None:
+        options["max_tuples"] = args.memory_budget
+    executor = executor_class(args.executor)(algorithm=algorithm, **options, **kwargs)
+    return executor.join(r, s)
+
+
 def _run_join_strategy(args: argparse.Namespace, r, s, algorithm: str, kwargs: dict):
     """Dispatch one join per ``--strategy`` (runs under the active tracer)."""
     if args.strategy == "memory":
@@ -381,7 +417,7 @@ def _run_join_strategy(args: argparse.Namespace, r, s, algorithm: str, kwargs: d
         if algorithm.strip().lower() == "auto":
             algorithm = choose_algorithm_name(s)
         if args.strategy == "disk":
-            from repro.external.disk_join import disk_partitioned_join
+            from repro.exec.disk import disk_partitioned_join
 
             per_part = max(1, len(s) // max(args.partitions, 1))
             result = disk_partitioned_join(r, s, algorithm=algorithm,
@@ -395,7 +431,7 @@ def _run_join_strategy(args: argparse.Namespace, r, s, algorithm: str, kwargs: d
             resilient = (args.retries > 0 or args.timeout_seconds is not None
                          or args.no_fallback)
             if resilient:
-                from repro.future.resilient import (
+                from repro.exec.resilient import (
                     ResilientParallelJoin,
                     RetryPolicy,
                 )
@@ -410,7 +446,7 @@ def _run_join_strategy(args: argparse.Namespace, r, s, algorithm: str, kwargs: d
                 )
                 result = executor.join(r, s)
             else:
-                from repro.future.parallel import parallel_join
+                from repro.exec.parallel import parallel_join
 
                 result = parallel_join(r, s, algorithm=algorithm,
                                        workers=args.partitions, **kwargs)

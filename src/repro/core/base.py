@@ -105,7 +105,7 @@ class JoinStats:
             batches this index has served, including the current one) and
             ``reused_index`` (1 when the index existed before this call).
             The fault-tolerant parallel executor
-            (:class:`repro.future.resilient.ResilientParallelJoin`) always
+            (:class:`repro.exec.resilient.ResilientParallelJoin`) always
             reports its degradation counters here — ``retries``,
             ``timeouts``, ``fallback_chunks``, ``pool_restarts`` and
             ``corrupt_chunks``, all zero on a clean run — so a join that

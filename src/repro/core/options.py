@@ -1,10 +1,11 @@
 """Centralized validation for executor and planner options.
 
-Every executor in the package — :class:`repro.future.parallel.ParallelJoin`,
-:class:`repro.future.resilient.ResilientParallelJoin` and
-:class:`repro.external.disk_join.DiskPartitionedJoin` — accepts the same
-small vocabulary of knobs (worker count, chunk count, start method, memory
-budget, timeout).  Historically each validated them independently, with
+Every executor in :mod:`repro.exec` — :class:`~repro.exec.parallel.
+ParallelJoin`, :class:`~repro.exec.resilient.ResilientParallelJoin`,
+:class:`~repro.exec.disk.DiskPartitionedJoin` and
+:class:`~repro.exec.sharded.ShardedJoin` — accepts the same small
+vocabulary of knobs (worker count, chunk/shard count, start method,
+memory budget, timeout).  Historically each validated them independently, with
 slightly different wording; this module is now the single source of truth,
 shared by the executors *and* by :class:`repro.planner.Planner` when it
 validates a :class:`~repro.planner.Workload` hint, so one option always
@@ -23,13 +24,19 @@ import multiprocessing
 from repro.errors import AlgorithmError, ExternalMemoryError
 
 __all__ = [
+    "SHARD_STRATEGIES",
     "validate_workers",
     "validate_chunks",
+    "validate_shards",
+    "validate_shard_strategy",
     "validate_start_method",
     "validate_timeout_seconds",
     "validate_max_tuples",
     "validate_probe_batches",
 ]
+
+#: Partition strategies the sharded executor understands.
+SHARD_STRATEGIES = ("element", "signature")
 
 
 def _require_positive(name: str, value: float, error: type[ValueError]) -> None:
@@ -48,6 +55,22 @@ def validate_chunks(chunks: int | None) -> int | None:
     if chunks is not None:
         _require_positive("chunks", chunks, AlgorithmError)
     return chunks
+
+
+def validate_shards(shards: int | None) -> int | None:
+    """S-shard count: ``None`` (derive from workers) or positive."""
+    if shards is not None:
+        _require_positive("shards", shards, AlgorithmError)
+    return shards
+
+
+def validate_shard_strategy(strategy: str) -> str:
+    """Shard partition strategy: one of :data:`SHARD_STRATEGIES`."""
+    if strategy not in SHARD_STRATEGIES:
+        raise AlgorithmError(
+            f"unknown shard strategy {strategy!r}; available: {SHARD_STRATEGIES}"
+        )
+    return strategy
 
 
 def validate_start_method(start_method: str | None) -> str | None:

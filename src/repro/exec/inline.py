@@ -1,0 +1,41 @@
+"""The in-process executor: the classic single-process join path.
+
+``InlineJoin`` is what ``execute_plan`` runs for ``executor="inline"``
+plans — byte-for-byte the historical
+``make_algorithm(name, **kwargs).join(r, s)`` call, so pinned plans keep
+reproducing explicit-algorithm runs exactly (same
+:class:`~repro.core.base.JoinStats`, same pair order).  Formalising it as
+an :class:`~repro.exec.protocol.Executor` lets the plan dispatcher treat
+all five executors uniformly instead of special-casing the in-process
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.core.base import JoinResult
+from repro.exec.protocol import BaseExecutor
+from repro.relations.relation import Relation
+
+__all__ = ["InlineJoin"]
+
+
+class InlineJoin(BaseExecutor):
+    """Single-process set-containment join (no pool, no spill).
+
+    Args:
+        algorithm: Registry name of the in-memory algorithm.
+        **algorithm_kwargs: Forwarded to the algorithm factory.
+    """
+
+    name: ClassVar[str] = "inline"
+
+    def join(self, r: Relation, s: Relation) -> JoinResult:
+        """Run the classic one-shot join: prepare + one ``probe_many``."""
+        from repro.core.registry import make_algorithm
+
+        return make_algorithm(self.algorithm, **self.algorithm_kwargs).join(r, s)
+
+    def _describe_options(self) -> dict[str, Any]:
+        return {}

@@ -1,0 +1,201 @@
+"""Multi-core partition-parallel join (paper Sec. VI future work).
+
+"Extending the algorithms to nontrivial multi-core ... settings will be
+essential when relation size goes beyond millions of tuples."
+
+This module provides the straightforward first step on top of the
+prepared-index split: the index over ``S`` is built **exactly once** in
+the parent, the probe relation ``R`` is split into chunks, and each
+worker process probes the shared index with its chunks.  Output equals
+the sequential join's because ``R ⋈⊇ S = ⋃_i (R_i ⋈⊇ S)``.
+
+Index sharing is zero-copy on POSIX: :class:`~concurrent.futures.
+ProcessPoolExecutor` forks, so workers inherit the parent's prepared
+index through copy-on-write pages via the pool *initializer*.  Under a
+``spawn`` start method (e.g. macOS/Windows defaults) the same initializer
+path still works, but the index is pickled to each worker once — still
+one *build*, never one build per worker or per chunk.
+
+:class:`ParallelJoin` is the fail-fast executor: any worker failure
+aborts the join.  :class:`repro.exec.resilient.ResilientParallelJoin`
+layers per-chunk retry, timeouts and an in-process fallback on top of
+the same chunking, and :class:`repro.exec.sharded.ShardedJoin`
+partitions the *index side* instead of sharing it — see
+``docs/EXECUTORS.md`` for the full matrix.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, ClassVar
+
+from repro.core.base import JoinResult, JoinStats, PreparedIndex
+from repro.core.options import validate_chunks, validate_start_method, validate_workers
+from repro.exec.merge import merge_stats
+from repro.exec.protocol import BaseExecutor
+from repro.external.partition import partition_relation
+from repro.obs.tracer import current_tracer
+from repro.relations.relation import Relation
+
+__all__ = ["ParallelJoin", "parallel_join", "record_chunk_span", "merge_chunk_stats"]
+
+#: Backwards-compatible alias: chunk merging is now the shared
+#: :func:`repro.exec.merge.merge_stats` fold (identical numbers on the
+#: chunk path — chunks report zero build time and the shared index's own
+#: signature bits, so the unified fold's extra fields are no-ops here).
+merge_chunk_stats = merge_stats
+
+#: The prepared index shared with worker processes.  Set once per worker by
+#: :func:`_init_worker` (inherited for free when the pool forks; transferred
+#: by pickle exactly once per worker under ``spawn``).
+_WORKER_INDEX: PreparedIndex | None = None
+
+
+def _init_worker(index: PreparedIndex) -> None:
+    """Pool initializer: bind the parent's prepared index in this worker."""
+    global _WORKER_INDEX
+    _WORKER_INDEX = index
+
+
+def _probe_chunk(r_chunk: Relation) -> tuple[list[tuple[int, int]], JoinStats]:
+    """Worker entry point (module-level so it pickles): probe, never build."""
+    assert _WORKER_INDEX is not None, "worker pool initializer did not run"
+    result = _WORKER_INDEX.probe_many(r_chunk)
+    return result.pairs, result.stats
+
+
+def record_chunk_span(tracer, chunk_stats: JoinStats) -> None:
+    """Fold one worker-measured chunk probe into the parent's span tree.
+
+    Workers run with their own (null) tracer; their probe wall time comes
+    home inside the chunk's :class:`JoinStats`.  Recording it — rather
+    than re-timing with a context manager — merges every chunk into one
+    ``probe`` span whose ``seconds`` equals the *summed* per-chunk probe
+    time (what ``stats.probe_seconds`` reports), not the smaller parallel
+    wall time, so the span tree and the stats stay consistent.
+    """
+    if not tracer.enabled:
+        return
+    tracer.record(
+        "probe",
+        chunk_stats.probe_seconds,
+        {
+            "chunks": 1,
+            "pairs": chunk_stats.pairs,
+            "candidates": chunk_stats.candidates,
+            "verifications": chunk_stats.verifications,
+            "node_visits": chunk_stats.node_visits,
+            "intersections": chunk_stats.intersections,
+        },
+    )
+    tracer.observe("chunk_probe_seconds", chunk_stats.probe_seconds)
+
+
+class ParallelJoin(BaseExecutor):
+    """Partition-parallel set-containment join over worker processes.
+
+    Args:
+        algorithm: Registry name of the in-memory algorithm whose prepared
+            index is shared by all workers.
+        workers: Worker process count (>= 1).  ``workers=1`` probes the
+            chunks in-process (no pool), which keeps tests and small
+            inputs cheap — the index is still prepared exactly once.
+        chunks: Number of R-chunks; defaults to ``workers``.
+        start_method: Multiprocessing start method for the pool
+            (``"fork"``, ``"spawn"``, ``"forkserver"``); ``None`` uses the
+            platform default.
+        **algorithm_kwargs: Forwarded to the algorithm factory.
+
+    Raises:
+        AlgorithmError: On a non-positive worker or chunk count, or an
+            unknown start method.
+    """
+
+    name: ClassVar[str] = "parallel"
+
+    def __init__(
+        self,
+        algorithm: str = "ptsj",
+        workers: int = 2,
+        chunks: int | None = None,
+        start_method: str | None = None,
+        **algorithm_kwargs,
+    ) -> None:
+        validate_workers(workers)
+        validate_chunks(chunks)
+        validate_start_method(start_method)
+        super().__init__(algorithm=algorithm, **algorithm_kwargs)
+        self.workers = workers
+        self.chunks = chunks or workers
+        self.start_method = start_method
+
+    def _describe_options(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "chunks": self.chunks,
+            "start_method": self.start_method,
+        }
+
+    def _make_pool(self, index: PreparedIndex) -> ProcessPoolExecutor:
+        """Create the worker pool, every worker bound to ``index``."""
+        context = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method is not None
+            else None
+        )
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(index,),
+        )
+
+    def _partition(self, r: Relation, stats: JoinStats) -> list[Relation]:
+        """Split ``r`` into the configured number of chunks."""
+        chunk_size = max(1, -(-len(r) // self.chunks)) if len(r) else 1
+        r_chunks = partition_relation(r, chunk_size)
+        stats.extras["workers"] = self.workers
+        stats.extras["chunks"] = len(r_chunks)
+        return r_chunks
+
+    def join(self, r: Relation, s: Relation) -> JoinResult:
+        """Compute ``R ⋈⊇ S``: one index build, parallel chunk probes."""
+        stats = JoinStats(algorithm=f"parallel-{self.algorithm}")
+        r_chunks = self._partition(r, stats)
+
+        index = self.prepare(s, probe_hint=r)
+        stats.build_seconds = index.build_seconds
+        stats.signature_bits = index.signature_bits
+        stats.index_nodes = index.index_nodes
+        stats.extras["index_builds"] = 1
+
+        pairs: list[tuple[int, int]] = []
+        tracer = current_tracer()
+        if self.workers == 1:
+            # In-process probes run under the active tracer directly, so
+            # probe_many opens the spans itself — no explicit recording.
+            outcomes = [
+                (res.pairs, res.stats)
+                for res in (index.probe_many(chunk) for chunk in r_chunks)
+            ]
+        else:
+            with self._make_pool(index) as pool:
+                outcomes = list(pool.map(_probe_chunk, r_chunks))
+            for _, chunk_stats in outcomes:
+                record_chunk_span(tracer, chunk_stats)
+        for chunk_pairs, chunk_stats in outcomes:
+            pairs.extend(chunk_pairs)
+            merge_stats(stats, chunk_stats)
+        return JoinResult(pairs, stats)
+
+
+def parallel_join(
+    r: Relation,
+    s: Relation,
+    algorithm: str = "ptsj",
+    workers: int = 2,
+    **algorithm_kwargs,
+) -> JoinResult:
+    """One-shot helper around :class:`ParallelJoin`."""
+    return ParallelJoin(algorithm=algorithm, workers=workers, **algorithm_kwargs).join(r, s)

@@ -1,0 +1,120 @@
+"""The ``Executor`` protocol: one contract for every way a join can run.
+
+Before this package existed, the four execution paths — in-process,
+partition-parallel (fail-fast and resilient) and disk-partitioned — lived
+in three packages with ad-hoc ``from_plan`` constructors and duplicated
+stats merging, and :func:`repro.planner.executor.execute_plan` dispatched
+on the plan's executor name with one hand-written branch per class.  The
+protocol formalises what those branches all assumed:
+
+* ``prepare(s, probe_hint=None)`` — build the in-memory
+  :class:`~repro.core.base.PreparedIndex` this executor's join is based
+  on (the full, single-process index: partitioned executors still expose
+  it for parameter parity and as the fallback of last resort);
+* ``join(r, s)`` — compute ``R ⋈⊇ S`` end to end and return a
+  :class:`~repro.core.base.JoinResult`;
+* ``from_plan(plan)`` — construct the executor from an immutable
+  :class:`~repro.planner.plan.Plan` (algorithm kwargs and executor
+  options forwarded verbatim);
+* ``describe()`` — a JSON-friendly dict of the executor's configuration,
+  for logs, EXPLAIN output and tests.
+
+:class:`BaseExecutor` is the shared implementation: every concrete
+executor in this package subclasses it, and ``execute_plan`` dispatches
+through :func:`repro.exec.executor_class` with no per-class branches.
+See ``docs/EXECUTORS.md`` for the executor matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Protocol, runtime_checkable
+
+from repro.core.base import JoinResult, PreparedIndex
+from repro.relations.relation import Relation
+
+__all__ = ["Executor", "BaseExecutor"]
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Structural type every join executor satisfies.
+
+    ``runtime_checkable`` so tests (and defensive callers) can assert
+    ``isinstance(executor, Executor)``; the check covers method presence,
+    not signatures — :class:`BaseExecutor` is the canonical
+    implementation.
+    """
+
+    #: Plan-facing executor name (the value of ``Plan.executor``).
+    name: ClassVar[str]
+
+    def prepare(
+        self, s: Relation, probe_hint: Relation | None = None
+    ) -> PreparedIndex: ...
+
+    def join(self, r: Relation, s: Relation) -> JoinResult: ...
+
+    @classmethod
+    def from_plan(cls, plan: Any) -> "Executor": ...
+
+    def describe(self) -> dict[str, Any]: ...
+
+
+class BaseExecutor:
+    """Common machinery shared by every executor in :mod:`repro.exec`.
+
+    Holds the algorithm binding (registry name + constructor kwargs),
+    implements the protocol's ``prepare``/``from_plan``/``describe``
+    once, and leaves ``join`` — the part that actually differs — to the
+    subclass.
+
+    Args:
+        algorithm: Registry name of the in-memory algorithm this executor
+            runs (``"ptsj"``, ``"pretti+"``, ...).
+        **algorithm_kwargs: Forwarded verbatim to the algorithm factory.
+    """
+
+    #: Plan-facing executor name; subclasses override.
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, algorithm: str = "ptsj", **algorithm_kwargs: Any) -> None:
+        self.algorithm = algorithm
+        self.algorithm_kwargs = algorithm_kwargs
+
+    @classmethod
+    def from_plan(cls, plan: Any) -> "BaseExecutor":
+        """Build this executor from a :class:`~repro.planner.plan.Plan`.
+
+        The plan's executor options become constructor options and its
+        algorithm kwargs are forwarded verbatim, so a deserialized plan
+        reconstructs the exact executor the planner decided on.
+        """
+        return cls(algorithm=plan.algorithm, **plan.options(), **plan.kwargs())
+
+    def prepare(
+        self, s: Relation, probe_hint: Relation | None = None
+    ) -> PreparedIndex:
+        """Build the single-process index this executor's join is based on."""
+        from repro.core.registry import make_algorithm
+
+        return make_algorithm(self.algorithm, **self.algorithm_kwargs).prepare(
+            s, probe_hint=probe_hint
+        )
+
+    def join(self, r: Relation, s: Relation) -> JoinResult:
+        raise NotImplementedError  # pragma: no cover - subclasses implement
+
+    def describe(self) -> dict[str, Any]:
+        """This executor's configuration as a JSON-friendly dict."""
+        info: dict[str, Any] = {"executor": self.name, "algorithm": self.algorithm}
+        if self.algorithm_kwargs:
+            info["algorithm_kwargs"] = dict(self.algorithm_kwargs)
+        info.update(self._describe_options())
+        return info
+
+    def _describe_options(self) -> dict[str, Any]:
+        """Executor-specific knobs for :meth:`describe`; subclasses extend."""
+        return {}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} ({self.name}) algorithm={self.algorithm}>"

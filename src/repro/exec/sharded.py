@@ -1,0 +1,600 @@
+"""Shard-partitioned scale-out join: partition the *index*, not the probes.
+
+Every other parallel path in this package shares one prepared index and
+splits the probe side.  That caps the joinable ``S`` at what one process
+can hold — exactly the wall the paper's Sec. VI names when "relation size
+goes beyond millions of tuples".  :class:`ShardedJoin` crosses it by
+partitioning ``S`` into disjoint shards, building one *small* index per
+shard inside its worker, and routing each probe record only to the shards
+that could possibly contain its subsets.  Partitioning the indexed side
+follows the distribution strategies surveyed in "Set Containment Join
+Revisited" (Bouros et al.).
+
+Two partition strategies:
+
+* ``"element"`` — shard ``s`` by ``min(s.elements) % shards``.  Routing
+  exploits containment: ``s ⊆ r`` implies ``min(s) ∈ r``, so probing the
+  shards ``{e % shards for e in r.elements}`` reaches every subset of
+  ``r``.  Probes fan out only as far as their distinct element residues —
+  the *small side* (the probe record) is replicated, never the index.
+  Empty sets are a special case: ``∅ ⊆ r`` for every ``r``, so empty
+  ``s`` live in shard 0 and every probe also routes there while ``S``
+  contains an empty set.
+* ``"signature"`` — shard ``s`` by a stable hash of its elements
+  (uniform placement, immune to element skew) at the price of
+  *broadcasting* every probe to all shards.
+
+Each shard is one worker task carrying everything it needs (algorithm
+name, its S-partition, its routed probes), so shards survive pool
+restarts without initializer state.  The resilience ladder from
+:class:`~repro.exec.resilient.RetryPolicy` extends to **shard loss**:
+a crashed or dying shard worker is retried with deterministic backoff, a
+hung shard is timed out and abandoned, and a shard whose retries are
+exhausted is rebuilt and probed in the parent process (the fallback of
+last resort — the parent rebuilds the shard index *without* any fault
+transform).  Degradation is observable via ``stats.extras``:
+``retries``, ``timeouts``, ``fallback_shards``, ``pool_restarts`` and
+``corrupt_shards`` are always present and zero on a clean run.
+
+Determinism: shard membership and probe routing are pure functions of
+record elements, results are merged in shard-id order with
+:func:`repro.exec.merge.merge_stats`, and pair lists concatenate in
+shard-id order — so pairs-sorted output and merged counters are
+bit-for-bit reproducible across runs, worker counts and start methods.
+With ``shards=1`` the single shard holds all of ``S`` and receives every
+probe in order, so merged counters equal the inline oracle's exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, ClassVar
+
+from repro.core.base import JoinResult, JoinStats, PreparedIndex
+from repro.core.options import (
+    validate_shard_strategy,
+    validate_shards,
+    validate_start_method,
+    validate_timeout_seconds,
+    validate_workers,
+)
+from repro.errors import JoinTimeoutError, RetryExhaustedError, WorkerError
+from repro.exec.merge import merge_stats
+from repro.exec.protocol import BaseExecutor
+from repro.exec.resilient import RetryPolicy
+from repro.obs.clock import monotonic
+from repro.obs.tracer import current_tracer
+from repro.relations.relation import Relation, SetRecord
+
+__all__ = ["ShardedJoin", "sharded_join", "SHARD_EXTRAS"]
+
+#: Stats extras every sharded join reports (the last five zero on a clean run).
+SHARD_EXTRAS = ("retries", "timeouts", "fallback_shards", "pool_restarts", "corrupt_shards")
+
+#: Multiplier for the stable signature hash (same prime CPython's tuple
+#: hash historically used; any odd multiplier works).
+_HASH_MULTIPLIER = 1000003
+_HASH_MASK = (1 << 61) - 1
+
+
+def stable_signature_hash(elements: frozenset[int]) -> int:
+    """Order-independent, process-independent hash of an element set.
+
+    Python's ``hash(frozenset)`` is stable for ints today, but that is an
+    implementation detail; shard placement must never depend on one.
+    Folding the *sorted* elements keeps the value identical in every
+    interpreter and start method.
+    """
+    h = len(elements) & _HASH_MASK
+    for e in sorted(elements):
+        h = (h * _HASH_MULTIPLIER + e + 1) & _HASH_MASK
+    return h
+
+
+def shard_of(record: SetRecord, shards: int, strategy: str) -> int:
+    """The single shard a ``S``-record lives in (pure, deterministic)."""
+    if shards == 1:
+        return 0
+    if strategy == "signature":
+        return stable_signature_hash(record.elements) % shards
+    if not record.elements:
+        return 0
+    return min(record.elements) % shards
+
+
+def route_probe(
+    record: SetRecord, shards: int, strategy: str, s_has_empty: bool
+) -> list[int]:
+    """Every shard a probe record must visit, ascending (pure, deterministic).
+
+    Element routing is complete because ``s ⊆ r ∧ s ≠ ∅`` implies
+    ``min(s) ∈ r``, hence ``min(s) % shards`` is among ``r``'s element
+    residues; empty ``s`` (⊆ everything) live in shard 0, which is added
+    whenever ``S`` contains one.  Signature placement has no such
+    locality, so signature probes broadcast.
+    """
+    if shards == 1:
+        return [0]
+    if strategy == "signature":
+        return list(range(shards))
+    targets = {e % shards for e in record.elements}
+    if s_has_empty or not record.elements:
+        targets.add(0)
+    return sorted(targets)
+
+
+def _join_shard(
+    payload: tuple[
+        int,
+        str,
+        dict[str, Any],
+        Relation,
+        Relation,
+        Callable[[PreparedIndex], PreparedIndex] | None,
+    ],
+) -> tuple[list[tuple[int, int]], JoinStats]:
+    """Worker entry point (module-level so it pickles): build *and* probe.
+
+    Unlike the chunk executors, each shard task is self-contained — it
+    carries its S-partition and routed probes, builds the shard index
+    locally, applies the (picklable) fault transform if any, and probes.
+    The returned stats include the shard's build time, nodes and
+    signature bits, so the parent's merge accounts for every build.
+    """
+    shard_id, algorithm, algorithm_kwargs, s_part, probes, transform = payload
+    from repro.core.registry import make_algorithm
+
+    index = make_algorithm(algorithm, **algorithm_kwargs).prepare(s_part, probe_hint=probes)
+    if transform is not None:
+        index = transform(index)
+    result = index.probe_many(probes)
+    stats = result.stats
+    stats.build_seconds += index.build_seconds
+    stats.index_nodes = max(stats.index_nodes, index.index_nodes)
+    stats.signature_bits = max(stats.signature_bits, index.signature_bits)
+    return result.pairs, stats
+
+
+def record_shard_span(tracer, shard_id: int, shard_stats: JoinStats) -> None:
+    """Fold one worker-measured shard run into the parent's span tree.
+
+    Mirrors :func:`repro.exec.parallel.record_chunk_span`: the shard's
+    build+probe wall time was measured in the worker and comes home in
+    its :class:`JoinStats`; recording it keeps the ``shard`` span's total
+    equal to the summed per-shard time the merged stats report.
+    """
+    if not tracer.enabled:
+        return
+    tracer.record(
+        "shard",
+        shard_stats.build_seconds + shard_stats.probe_seconds,
+        {
+            "shards": 1,
+            "pairs": shard_stats.pairs,
+            "candidates": shard_stats.candidates,
+            "verifications": shard_stats.verifications,
+            "node_visits": shard_stats.node_visits,
+            "intersections": shard_stats.intersections,
+        },
+    )
+    tracer.observe("shard_seconds", shard_stats.build_seconds + shard_stats.probe_seconds)
+
+
+class _ShardTask:
+    """Book-keeping for one shard's journey through the executor."""
+
+    __slots__ = ("shard_id", "s_part", "probes", "attempts", "deadline")
+
+    def __init__(self, shard_id: int, s_part: Relation, probes: Relation) -> None:
+        self.shard_id = shard_id
+        self.s_part = s_part
+        self.probes = probes
+        self.attempts = 0
+        self.deadline: float | None = None
+
+
+class ShardedJoin(BaseExecutor):
+    """Scale-out set-containment join over S-index shards.
+
+    Args:
+        algorithm: Registry name of the in-memory algorithm built per
+            shard.
+        workers: Worker process count (>= 1).  ``workers=1`` runs the
+            shard tasks in-process (retry and fallback still apply;
+            ``timeout_seconds`` does not — in-process probes cannot be
+            pre-empted).
+        shards: Number of S-partitions; defaults to ``workers``.
+        strategy: ``"element"`` (routed probes, default) or
+            ``"signature"`` (uniform placement, broadcast probes).
+        start_method: Multiprocessing start method for the pool.
+        retry_policy: Retry schedule per shard (default: 3 attempts, no
+            backoff) — the same ladder the resilient executor uses for
+            chunks.
+        timeout_seconds: Per-shard wall-clock budget; an over-budget shard
+            is abandoned and rebuilt in the parent.  ``None`` disables.
+        fallback: When True (default), a shard whose retries are
+            exhausted is rebuilt and probed in the parent instead of
+            raising :class:`~repro.errors.RetryExhaustedError`.
+        validate_results: When True (default), shard results are checked
+            for alien tuple ids; corrupt shards are retried.
+        index_transform: Optional *picklable* hook applied to each shard
+            index inside its worker — the seam
+            :class:`repro.testing.faults.IndexFault` uses to inject shard
+            loss.  (Unlike the resilient executor's transform, this one
+            crosses a process boundary, so lambdas won't do.)
+        **algorithm_kwargs: Forwarded to the per-shard algorithm factory.
+
+    Raises:
+        AlgorithmError: On invalid configuration.
+        RetryExhaustedError: When a shard fails every attempt and
+            ``fallback`` is disabled.
+        JoinTimeoutError: When a shard exceeds ``timeout_seconds`` and
+            ``fallback`` is disabled.
+    """
+
+    name: ClassVar[str] = "sharded"
+
+    def __init__(
+        self,
+        algorithm: str = "ptsj",
+        workers: int = 2,
+        shards: int | None = None,
+        strategy: str = "element",
+        start_method: str | None = None,
+        retry_policy: RetryPolicy | None = None,
+        timeout_seconds: float | None = None,
+        fallback: bool = True,
+        validate_results: bool = True,
+        index_transform: Callable[[PreparedIndex], PreparedIndex] | None = None,
+        **algorithm_kwargs,
+    ) -> None:
+        validate_workers(workers)
+        validate_shards(shards)
+        validate_shard_strategy(strategy)
+        validate_start_method(start_method)
+        validate_timeout_seconds(timeout_seconds)
+        super().__init__(algorithm=algorithm, **algorithm_kwargs)
+        self.workers = workers
+        self.shards = shards or workers
+        self.strategy = strategy
+        self.start_method = start_method
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.timeout_seconds = timeout_seconds
+        self.fallback = fallback
+        self.validate_results = validate_results
+        self.index_transform = index_transform
+
+    def _describe_options(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "shards": self.shards,
+            "strategy": self.strategy,
+            "start_method": self.start_method,
+            "max_attempts": self.retry_policy.max_attempts,
+            "timeout_seconds": self.timeout_seconds,
+            "fallback": self.fallback,
+            "validate_results": self.validate_results,
+        }
+
+    # ------------------------------------------------------------------
+    # Partitioning and routing
+    # ------------------------------------------------------------------
+    def _partition_s(self, s: Relation) -> list[list[SetRecord]]:
+        """Distribute ``S`` into shards, preserving record order within each."""
+        parts: list[list[SetRecord]] = [[] for _ in range(self.shards)]
+        for rec in s:
+            parts[shard_of(rec, self.shards, self.strategy)].append(rec)
+        return parts
+
+    def _route_r(self, r: Relation, s_has_empty: bool) -> list[list[SetRecord]]:
+        """Replicate each probe record to its target shards, in R order."""
+        routed: list[list[SetRecord]] = [[] for _ in range(self.shards)]
+        for rec in r:
+            for shard_id in route_probe(rec, self.shards, self.strategy, s_has_empty):
+                routed[shard_id].append(rec)
+        return routed
+
+    def _make_tasks(self, r: Relation, s: Relation, stats: JoinStats) -> list[_ShardTask]:
+        """Build one task per populated shard; record the routing extras."""
+        s_parts = self._partition_s(s)
+        s_has_empty = any(not rec.elements for rec in s)
+        routed = self._route_r(r, s_has_empty)
+        tasks = [
+            _ShardTask(
+                shard_id,
+                Relation(tuple(s_parts[shard_id]), name=f"S#{shard_id}"),
+                Relation(tuple(routed[shard_id]), name=f"R#{shard_id}"),
+            )
+            for shard_id in range(self.shards)
+            if s_parts[shard_id]
+        ]
+        stats.extras["workers"] = self.workers
+        stats.extras["shards"] = self.shards
+        stats.extras["index_builds"] = len(tasks)
+        stats.extras["routed_probes"] = sum(len(task.probes) for task in tasks)
+        for key in SHARD_EXTRAS:
+            stats.extras[key] = 0
+        return tasks
+
+    def _payload(self, task: _ShardTask):
+        return (
+            task.shard_id,
+            self.algorithm,
+            self.algorithm_kwargs,
+            task.s_part,
+            task.probes,
+            self.index_transform,
+        )
+
+    # ------------------------------------------------------------------
+    # Join driver
+    # ------------------------------------------------------------------
+    def join(self, r: Relation, s: Relation) -> JoinResult:
+        """Compute ``R ⋈⊇ S`` across shards with retry/timeout/fallback."""
+        stats = JoinStats(algorithm=f"sharded-{self.algorithm}")
+        tasks = self._make_tasks(r, s, stats)
+
+        if self.workers == 1:
+            outcomes = [self._run_shard_inline(task, stats) for task in tasks]
+        else:
+            outcomes = self._run_shards_pooled(tasks, stats)
+
+        # Merge in shard-id order — task lists are already ascending and
+        # the pooled driver writes results back by position, so the fold
+        # (and the concatenated pair list) is deterministic regardless of
+        # completion order.
+        pairs: list[tuple[int, int]] = []
+        for shard_pairs, shard_stats in outcomes:
+            pairs.extend(shard_pairs)
+            merge_stats(stats, shard_stats)
+        return JoinResult(pairs, stats)
+
+    # ------------------------------------------------------------------
+    # In-process execution (workers == 1)
+    # ------------------------------------------------------------------
+    def _run_shard_inline(
+        self, task: _ShardTask, stats: JoinStats
+    ) -> tuple[list[tuple[int, int]], JoinStats]:
+        """Run one shard in-process, retrying per the policy."""
+        last_error: Exception | None = None
+        while task.attempts < self.retry_policy.max_attempts:
+            task.attempts += 1
+            if task.attempts > 1:
+                stats.extras["retries"] += 1
+                delay = self.retry_policy.delay(task.attempts - 1)
+                current_tracer().record("retry", delay, {"retries": 1})
+                time.sleep(delay)
+            try:
+                shard_pairs, shard_stats = _join_shard(self._payload(task))
+                self._check_result(task, shard_pairs, stats)
+                return shard_pairs, shard_stats
+            except Exception as exc:  # noqa: BLE001 - any shard fault is retryable
+                last_error = exc
+        return self._exhausted(task, stats, last_error)
+
+    # ------------------------------------------------------------------
+    # Pooled execution (workers > 1)
+    # ------------------------------------------------------------------
+    def _run_shards_pooled(
+        self, tasks: list[_ShardTask], stats: JoinStats
+    ) -> list[tuple[list[tuple[int, int]], JoinStats]]:
+        """Drive all shards through a worker pool, recovering losses."""
+        results: list[tuple[list[tuple[int, int]], JoinStats] | None] = [None] * len(tasks)
+        positions = {task.shard_id: i for i, task in enumerate(tasks)}
+        pool = self._make_pool()
+        pending: dict[Future, _ShardTask] = {}
+        abandoned = False
+        completed = False
+        try:
+            for task in tasks:
+                self._submit(pool, task, pending)
+            while pending:
+                done = self._wait_round(pending)
+                pool_broken = False
+                for future in done:
+                    task = pending.pop(future)
+                    try:
+                        shard_pairs, shard_stats = future.result()
+                        self._check_result(task, shard_pairs, stats)
+                        record_shard_span(current_tracer(), task.shard_id, shard_stats)
+                        results[positions[task.shard_id]] = (shard_pairs, shard_stats)
+                        continue
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        retry_now = False
+                    except Exception as exc:  # noqa: BLE001 - retryable shard fault
+                        last_error = exc
+                        retry_now = True
+                    if retry_now:
+                        if task.attempts < self.retry_policy.max_attempts:
+                            stats.extras["retries"] += 1
+                            delay = self.retry_policy.delay(task.attempts)
+                            current_tracer().record("retry", delay, {"retries": 1})
+                            time.sleep(delay)
+                            self._submit(pool, task, pending)
+                        else:
+                            results[positions[task.shard_id]] = self._exhausted(
+                                task, stats, last_error
+                            )
+                    else:
+                        # Pool broke under this shard: resubmission waits
+                        # for the pool restart below.
+                        pending[future] = task
+                if pool_broken:
+                    pool = self._restart_pool(pool, pending, positions, results, stats)
+                abandoned |= self._expire_overdue(pending, positions, results, stats)
+            completed = True
+        finally:
+            self._shutdown_pool(pool, force=abandoned or not completed)
+        assert all(outcome is not None for outcome in results)
+        return results  # type: ignore[return-value]
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        """Create the worker pool; shard payloads carry their own state."""
+        import multiprocessing
+
+        context = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method is not None
+            else None
+        )
+        return ProcessPoolExecutor(
+            max_workers=min(self.workers, max(1, self.shards)), mp_context=context
+        )
+
+    def _submit(
+        self, pool: ProcessPoolExecutor, task: _ShardTask, pending: dict[Future, _ShardTask]
+    ) -> None:
+        """Submit one attempt for ``task`` and start its timeout clock."""
+        task.attempts += 1
+        future = pool.submit(_join_shard, self._payload(task))
+        if self.timeout_seconds is not None:
+            task.deadline = monotonic() + self.timeout_seconds
+        pending[future] = task
+
+    def _wait_round(self, pending: dict[Future, _ShardTask]) -> set[Future]:
+        """Block until a future completes or the nearest deadline passes."""
+        wait_timeout: float | None = None
+        if self.timeout_seconds is not None:
+            nearest = min(task.deadline for task in pending.values() if task.deadline)
+            wait_timeout = max(0.0, nearest - monotonic())
+        done, _ = wait(set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED)
+        return done
+
+    def _restart_pool(
+        self,
+        pool: ProcessPoolExecutor,
+        pending: dict[Future, _ShardTask],
+        positions: dict[int, int],
+        results: list,
+        stats: JoinStats,
+    ) -> ProcessPoolExecutor:
+        """Replace a broken pool and resubmit every in-flight shard."""
+        stats.extras["pool_restarts"] += 1
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("pool_restarts")
+        stranded = list(pending.values())
+        pending.clear()
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = self._make_pool()
+        for task in stranded:
+            if task.attempts < self.retry_policy.max_attempts:
+                stats.extras["retries"] += 1
+                delay = self.retry_policy.delay(task.attempts)
+                tracer.record("retry", delay, {"retries": 1})
+                time.sleep(delay)
+                self._submit(pool, task, pending)
+            else:
+                results[positions[task.shard_id]] = self._exhausted(
+                    task, stats,
+                    WorkerError(f"worker died while joining shard {task.shard_id}"),
+                )
+        return pool
+
+    def _expire_overdue(
+        self,
+        pending: dict[Future, _ShardTask],
+        positions: dict[int, int],
+        results: list,
+        stats: JoinStats,
+    ) -> bool:
+        """Abandon shards past their deadline; rebuild them in the parent."""
+        if self.timeout_seconds is None:
+            return False
+        now = monotonic()
+        overdue = [
+            future
+            for future, task in pending.items()
+            if not future.done() and task.deadline is not None and task.deadline <= now
+        ]
+        abandoned = False
+        for future in overdue:
+            task = pending.pop(future)
+            if not future.cancel():
+                abandoned = True
+            stats.extras["timeouts"] += 1
+            current_tracer().record("timeout", 0.0, {"timeouts": 1})
+            if not self.fallback:
+                raise JoinTimeoutError(
+                    f"shard {task.shard_id} exceeded its {self.timeout_seconds}s budget "
+                    f"on attempt {task.attempts} and fallback is disabled"
+                )
+            results[positions[task.shard_id]] = self._fallback(task, stats)
+        return abandoned
+
+    # ------------------------------------------------------------------
+    # Last resorts
+    # ------------------------------------------------------------------
+    def _exhausted(
+        self, task: _ShardTask, stats: JoinStats, last_error: Exception | None
+    ) -> tuple[list[tuple[int, int]], JoinStats]:
+        """Retries used up: rebuild in the parent or raise."""
+        if not self.fallback:
+            raise RetryExhaustedError(
+                f"shard {task.shard_id} failed all {task.attempts} attempts: {last_error}",
+                attempts=task.attempts,
+            ) from last_error
+        return self._fallback(task, stats)
+
+    def _fallback(
+        self, task: _ShardTask, stats: JoinStats
+    ) -> tuple[list[tuple[int, int]], JoinStats]:
+        """Rebuild and probe one lost shard in the parent process.
+
+        Deliberately bypasses ``index_transform``: whatever fault wrapper
+        the workers ran with, the parent rebuilds the shard from its own
+        pristine S-partition.  The rebuild's cost lands in the shard's
+        returned stats, so the merge still accounts for it.
+        """
+        stats.extras["fallback_shards"] += 1
+        current_tracer().record("fallback", 0.0, {"fallback_shards": 1})
+        payload = (
+            task.shard_id,
+            self.algorithm,
+            self.algorithm_kwargs,
+            task.s_part,
+            task.probes,
+            None,
+        )
+        return _join_shard(payload)
+
+    def _check_result(
+        self, task: _ShardTask, pairs: list[tuple[int, int]], stats: JoinStats
+    ) -> None:
+        """Reject shard output referencing tuples the shard never held."""
+        if not self.validate_results:
+            return
+        probe_ids = frozenset(rec.rid for rec in task.probes)
+        s_ids = frozenset(rec.rid for rec in task.s_part)
+        for r_id, s_id in pairs:
+            if r_id not in probe_ids or s_id not in s_ids:
+                stats.extras["corrupt_shards"] += 1
+                raise WorkerError(
+                    f"shard {task.shard_id} returned corrupt pair ({r_id}, {s_id}): "
+                    "ids do not belong to the routed probes / shard partition"
+                )
+
+    @staticmethod
+    def _shutdown_pool(pool: ProcessPoolExecutor, force: bool) -> None:
+        """Shut the pool down; terminate workers when any were abandoned."""
+        if force:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                proc.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+def sharded_join(
+    r: Relation,
+    s: Relation,
+    algorithm: str = "ptsj",
+    workers: int = 2,
+    shards: int | None = None,
+    **kwargs,
+) -> JoinResult:
+    """One-shot helper around :class:`ShardedJoin`."""
+    return ShardedJoin(algorithm=algorithm, workers=workers, shards=shards, **kwargs).join(r, s)

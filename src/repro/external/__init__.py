@@ -1,12 +1,15 @@
 """External-memory join strategies.
 
-* :mod:`repro.external.disk_join` — the paper's Sec. III-E4 partitioned
-  nested loop over on-disk partitions.
+* :class:`~repro.exec.disk.DiskPartitionedJoin` — the paper's
+  Sec. III-E4 partitioned nested loop over on-disk partitions (now part
+  of :mod:`repro.exec`; re-exported here — and importable via the
+  deprecated ``repro.external.disk_join`` module path — for backwards
+  compatibility).
 * :mod:`repro.external.psj` — the PSJ/APSJ family's pick partitioning
   (the "smarter partitioning techniques" Sec. III-E4 points to).
 """
 
-from repro.external.disk_join import DiskPartitionedJoin, disk_partitioned_join
+from repro.exec.disk import DiskPartitionedJoin, disk_partitioned_join
 from repro.external.partition import SpilledRelation, partition_relation
 from repro.external.psj import PickPartitionedSetJoin, psj_join
 

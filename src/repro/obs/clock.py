@@ -12,7 +12,7 @@ Three readings are exposed:
 * :func:`perf_counter` — high-resolution monotonic clock for phase
   durations (spans, ``build_seconds``, ``probe_seconds``, bench records).
 * :func:`monotonic` — coarser monotonic clock for deadline arithmetic
-  (retry budgets in :mod:`repro.future.resilient`).
+  (retry budgets in :mod:`repro.exec.resilient`).
 * :func:`wall_clock` — epoch seconds, for human-facing timestamps in
   exported artifacts only; never used for durations.
 

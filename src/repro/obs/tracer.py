@@ -68,6 +68,7 @@ PHASES = (
     "probe_trie_build",
     "spill",
     "load",
+    "shard",
     "retry",
     "timeout",
     "fallback",

@@ -1,29 +1,27 @@
 """Plan execution: the one place a :class:`~repro.planner.plan.Plan` runs.
 
-``execute_plan`` dispatches on ``plan.executor`` and otherwise forwards
-the plan's recorded kwargs verbatim:
-
-* ``inline`` — ``make_algorithm(name, **kwargs).join(r, s)``, byte-for-
-  byte the classic path, so pinned plans reproduce explicit-algorithm
-  runs exactly (same ``JoinStats``, same pair order);
-* ``parallel`` / ``resilient`` — the Sec. VI partition-parallel
-  executors, index built once and probe chunks fanned out;
-* ``disk`` — the Sec. III-E4 disk-partitioned block nested loop.
+``execute_plan`` resolves ``plan.executor`` through the
+:mod:`repro.exec` registry (:func:`repro.exec.executor_class`) and runs
+``cls.from_plan(plan).join(r, s)`` — one uniform path for every
+executor, no per-class branches.  The plan's recorded executor options
+and algorithm kwargs are forwarded verbatim by each class's
+``from_plan``, so pinned plans keep reproducing exactly (the ``inline``
+executor is byte-for-byte the classic
+``make_algorithm(name, **kwargs).join(r, s)`` call).
 
 ``prepare_from_plan`` covers the probe-many side: it returns the plan's
 algorithm as a reusable :class:`~repro.core.base.PreparedIndex`.
 
-Executor classes are imported lazily inside the dispatch functions: the
+:mod:`repro.exec` is imported lazily inside the dispatch functions: the
 planner package stays importable without dragging in multiprocessing or
 spill machinery, and no import cycle with :mod:`repro.core.registry`
-(which the parallel executors import) can form.
+(which the executors import) can form.
 """
 
 from __future__ import annotations
 
 from repro.analysis.sanitizer import maybe_check_plan
 from repro.core.base import JoinResult, PreparedIndex
-from repro.errors import PlanError
 from repro.planner.plan import Plan
 from repro.relations.relation import Relation
 
@@ -45,25 +43,9 @@ def execute_plan(plan: Plan, r: Relation, s: Relation) -> JoinResult:
             validates planner output).
     """
     maybe_check_plan(plan)
-    if plan.executor == "inline":
-        from repro.core.registry import make_algorithm
+    from repro.exec import executor_class
 
-        return make_algorithm(plan.algorithm, **plan.kwargs()).join(r, s)
-    if plan.executor == "parallel":
-        from repro.future.parallel import ParallelJoin
-
-        return ParallelJoin.from_plan(plan).join(r, s)
-    if plan.executor == "resilient":
-        from repro.future.resilient import ResilientParallelJoin
-
-        return ResilientParallelJoin.from_plan(plan).join(r, s)
-    if plan.executor == "disk":
-        from repro.external.disk_join import DiskPartitionedJoin
-
-        return DiskPartitionedJoin.from_plan(plan).join(r, s)
-    raise PlanError(
-        f"plan names unknown executor {plan.executor!r}"
-    )  # pragma: no cover - Plan.__post_init__ rejects these
+    return executor_class(plan.executor).from_plan(plan).join(r, s)
 
 
 def prepare_from_plan(

@@ -34,7 +34,7 @@ __all__ = [
 ]
 
 #: Executors a plan may select (see ``docs/PLANNER.md`` for the mapping).
-EXECUTORS = ("inline", "parallel", "resilient", "disk")
+EXECUTORS = ("inline", "parallel", "resilient", "disk", "sharded")
 
 #: Workload shapes the planner distinguishes.
 WORKLOAD_MODES = ("oneshot", "probe_many")
@@ -61,6 +61,10 @@ class Workload:
             timeout, fallback) whenever a worker pool is used.
         variant: Join variant (``containment`` is the R ⋈⊇ S join; the
             Sec. III-E extensions reuse the same prepared Patricia index).
+        shards: Requested S-shard count for the scale-out executor;
+            ``None`` (default) lets the planner decide whether sharding
+            pays off at all.  Setting it selects the sharded executor for
+            one-shot workloads.
     """
 
     mode: str = "oneshot"
@@ -69,11 +73,13 @@ class Workload:
     workers: int = 1
     fault_tolerance: bool = False
     variant: str = "containment"
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         from repro.core.options import (
             validate_max_tuples,
             validate_probe_batches,
+            validate_shards,
             validate_workers,
         )
 
@@ -83,6 +89,7 @@ class Workload:
             raise PlanError(f"unknown join variant {self.variant!r}; expected one of {JOIN_VARIANTS}")
         validate_probe_batches(self.probe_batches)
         validate_workers(self.workers)
+        validate_shards(self.shards)
         if self.memory_budget_tuples is not None:
             validate_max_tuples(self.memory_budget_tuples)
 
@@ -94,6 +101,7 @@ class Workload:
             "workers": self.workers,
             "fault_tolerance": self.fault_tolerance,
             "variant": self.variant,
+            "shards": self.shards,
         }
 
     @classmethod
@@ -230,6 +238,7 @@ class Plan:
         executor: One of :data:`EXECUTORS`.
         executor_options: Keyword arguments for the executor class
             (``workers``/``chunks`` for the parallel executors,
+            ``workers``/``shards``/``strategy`` for sharded,
             ``max_tuples`` for disk; empty for inline).
         workload: The hints the plan was made for.
         decisions: Every decision with its costs and rejected alternatives.

@@ -19,9 +19,11 @@ emits an immutable :class:`~repro.planner.plan.Plan` with four decisions:
    neighbours ``b/2`` and ``2b`` (the Fig. 5 sweet-spot argument, run at
    plan time).
 3. **executor** — in-process, partition-parallel (fail-fast or
-   resilient), or the Sec. III-E4 disk-partitioned nested loop, driven by
-   the memory budget and worker hints.
-4. **chunking** — how the probe side is split for the chosen executor.
+   resilient), shard-partitioned scale-out, or the Sec. III-E4
+   disk-partitioned nested loop, driven by the memory budget, worker and
+   shard hints (see ``docs/EXECUTORS.md``).
+4. **chunking** — how the work is split for the chosen executor (probe
+   chunks, S-shards, or disk partitions).
 
 Decisions carry their cost estimates and every rejected alternative, so
 ``plan.explain()`` renders an EXPLAIN-style tree and the bench harness
@@ -113,7 +115,7 @@ class Planner:
             )
             chosen_cost = algo_decision.cost
             executor_decision, executor, executor_options = self._decide_executor(
-                effective_r, s_stats, workload, chosen_cost
+                effective_r, s_stats, workload, chosen_cost, chosen, bits
             )
             decisions.append(executor_decision)
             chunk_decision, chunk_options = self._decide_chunking(
@@ -304,12 +306,32 @@ class Planner:
     # ------------------------------------------------------------------
     # Decision: executor
     # ------------------------------------------------------------------
+    def _shard_count(
+        self, r: RelationStats, s: RelationStats, workload: Workload
+    ) -> int:
+        """The S-shard count a sharded plan would use at this workload.
+
+        An explicit hint wins; otherwise one shard per worker, raised
+        until each shard's S-partition fits the memory budget (that is
+        the sharded executor's answer to budget pressure: ``n`` small
+        indexes instead of one big one).
+        """
+        if workload.shards is not None:
+            return workload.shards
+        shards = workload.workers
+        budget = workload.memory_budget_tuples
+        if budget is not None and s.size > budget:
+            shards = max(shards, math.ceil(s.size / budget))
+        return shards
+
     def _decide_executor(
         self,
         r: RelationStats,
         s: RelationStats,
         workload: Workload,
         algo_cost: CostEstimate | None,
+        algorithm: str,
+        bits: int,
     ) -> tuple[Decision, str, dict]:
         budget = workload.memory_budget_tuples
         total_tuples = r.size + s.size
@@ -318,6 +340,13 @@ class Planner:
             scaled = CostEstimate(
                 build=algo_cost.build, probe=algo_cost.probe / workload.workers
             )
+        profile = self.profiles.get(algorithm)
+        shards = self._shard_count(r, s, workload)
+        sharded_cost = (
+            profile.estimate_sharded(r, s, bits, shards, workload.workers)
+            if profile is not None
+            else None
+        )
 
         if workload.mode == "probe_many":
             batches = workload.probe_batches
@@ -336,6 +365,11 @@ class Planner:
                             "prepared index must outlive this plan",
                         ),
                         Alternative(
+                            "sharded",
+                            "shard indexes are rebuilt per join call; "
+                            "incompatible with index reuse",
+                        ),
+                        Alternative(
                             "disk",
                             "disk partitioning re-spills per join call; "
                             "incompatible with index reuse",
@@ -347,7 +381,80 @@ class Planner:
                 {},
             )
 
+        if workload.shards is not None:
+            return (
+                Decision(
+                    name="executor",
+                    choice="sharded",
+                    reason=f"{workload.shards} S-shard(s) requested: per-shard "
+                           "indexes built and probed across "
+                           f"{workload.workers} worker(s), probes routed by "
+                           "partition key",
+                    cost=sharded_cost,
+                    rejected=(
+                        Alternative(
+                            "inline",
+                            "single-process probing ignores the shard hint",
+                            cost=algo_cost,
+                        ),
+                        Alternative(
+                            "parallel",
+                            "shares one full-size index; sharding was "
+                            "explicitly requested",
+                            cost=scaled,
+                        ),
+                        Alternative(
+                            "disk",
+                            "sequential partition loads; shard workers probe "
+                            "concurrently instead",
+                        ),
+                    ),
+                    detail=(("shards", workload.shards),
+                            ("workers", workload.workers)),
+                ),
+                "sharded",
+                {"workers": workload.workers},
+            )
+
         if budget is not None and total_tuples > budget:
+            if workload.workers > 1:
+                return (
+                    Decision(
+                        name="executor",
+                        choice="sharded",
+                        reason=f"|R| + |S| = {total_tuples} tuples exceeds the "
+                               f"memory budget of {budget} and "
+                               f"{workload.workers} workers are hinted: "
+                               f"{shards} per-worker shard indexes of "
+                               f"~{math.ceil(s.size / shards)} tuples each "
+                               "fit the budget",
+                        cost=sharded_cost,
+                        rejected=(
+                            Alternative(
+                                "inline",
+                                f"relations do not fit the {budget}-tuple "
+                                "budget",
+                            ),
+                            Alternative(
+                                "parallel",
+                                "replicates the full index into every "
+                                "worker; the budget binds",
+                                cost=scaled,
+                            ),
+                            Alternative(
+                                "disk",
+                                "single-process partition loads leave "
+                                "hinted workers idle",
+                                cost=algo_cost,
+                            ),
+                        ),
+                        detail=(("memory_budget_tuples", budget),
+                                ("total_tuples", total_tuples),
+                                ("shards", shards)),
+                    ),
+                    "sharded",
+                    {"workers": workload.workers},
+                )
             return (
                 Decision(
                     name="executor",
@@ -366,6 +473,12 @@ class Planner:
                             "worker pools multiply resident memory; the "
                             "budget binds first",
                             cost=scaled,
+                        ),
+                        Alternative(
+                            "sharded",
+                            "sharding needs a worker pool to pay off; one "
+                            "worker hinted",
+                            cost=sharded_cost,
                         ),
                     ),
                     detail=(("memory_budget_tuples", budget),
@@ -399,6 +512,12 @@ class Planner:
                             cost=algo_cost,
                         ),
                         Alternative(why_not_other[0], why_not_other[1], cost=scaled),
+                        Alternative(
+                            "sharded",
+                            "S fits in one process: one shared index build "
+                            "beats per-shard rebuilds",
+                            cost=sharded_cost,
+                        ),
                         Alternative("disk", "relations fit in memory"),
                     ),
                     detail=(("workers", workload.workers),),
@@ -417,6 +536,8 @@ class Planner:
                 rejected=(
                     Alternative("parallel", "workers hint is 1: pool startup "
                                             "would cost more than it saves"),
+                    Alternative("sharded", "workers hint is 1 and no shard "
+                                           "count requested"),
                     Alternative("disk", "no memory budget set"
                                 if budget is None else
                                 f"relations fit the {budget}-tuple budget"),
@@ -448,6 +569,33 @@ class Planner:
                     detail=(("chunks", chunks), ("tuples_per_chunk", per_chunk)),
                 ),
                 {"chunks": chunks},
+            )
+        if executor == "sharded":
+            shards = self._shard_count(r, s, workload)
+            per_shard = math.ceil(s.size / shards) if s.size else 0
+            c_r = max(r.avg_cardinality, 1.0)
+            fanout = (
+                shards * (1.0 - (1.0 - 1.0 / shards) ** c_r) if shards > 1 else 1.0
+            )
+            return (
+                Decision(
+                    name="chunking",
+                    choice=f"{shards} S-shard(s), element partitioning",
+                    reason="s lives in shard min(s) mod n; s ⊆ r implies "
+                           "min(s) ∈ r, so routing each probe to its element "
+                           "residues reaches every possible subset",
+                    detail=(("shards", shards),
+                            ("tuples_per_shard", per_shard),
+                            ("expected_probe_fanout", round(fanout, 3))),
+                    rejected=(
+                        Alternative(
+                            "signature partitioning",
+                            "uniform hash placement is skew-immune but must "
+                            "broadcast every probe to all shards",
+                        ),
+                    ),
+                ),
+                {"shards": shards, "strategy": "element"},
             )
         if executor == "disk":
             budget = workload.memory_budget_tuples or max(r.size + s.size, 1)

@@ -172,6 +172,55 @@ class CostProfile:
         """Evaluate this algorithm's model at one configuration."""
         return self.estimator(r, s, bits)
 
+    def estimate_sharded(
+        self,
+        r: RelationStats,
+        s: RelationStats,
+        bits: int,
+        shards: int,
+        workers: int,
+        strategy: str = "element",
+    ) -> CostEstimate:
+        """Cost this algorithm run by the sharded executor.
+
+        The model starts from the single-process estimate and applies the
+        sharding geometry:
+
+        * **fanout** — how many shards each probe record visits.  Element
+          routing sends a probe with ``c_r`` elements to its distinct
+          residues: expected ``n·(1 − (1 − 1/n)^c_r)`` of ``n`` shards
+          (coupon-collector form).  Signature placement broadcasts, so
+          fanout is ``n``.
+        * **probe scaling** — each visited shard holds ~``1/n`` of the
+          index, so total probe work scales by ``fanout / n``: element
+          routing *skips* index fractions no subset can live in, while a
+          broadcast does the full work once per shard.
+        * **skew penalty** — element placement keys on ``min(s)``, so a
+          skewed element distribution piles sets onto few shards; the
+          indexed side's cardinality skew is the proxy, capped at 2x.
+          Signature placement hashes uniformly and takes no penalty.
+        * **parallelism** — builds and probes proceed concurrently on
+          ``min(workers, shards)`` processes.
+
+        The planner feeds this into the executor decision and surfaces
+        the inputs in ``plan.explain()``.
+        """
+        base = self.estimate(r, s, bits)
+        shards = max(shards, 1)
+        parallelism = max(min(workers, shards), 1)
+        c_r = max(r.avg_cardinality, 1.0)
+        if strategy == "signature":
+            fanout = float(shards)
+            skew_penalty = 1.0
+        else:
+            fanout = shards * (1.0 - (1.0 - 1.0 / shards) ** c_r) if shards > 1 else 1.0
+            skew = s.cardinality_skew
+            skew_penalty = 2.0 if skew == float("inf") else min(2.0, max(1.0, skew))
+        return CostEstimate(
+            build=_clamp(base.build / parallelism),
+            probe=_clamp(base.probe * (fanout / shards) * skew_penalty / parallelism),
+        )
+
 
 #: One profile per registry algorithm (kept in sync by tests).
 COST_PROFILES: dict[str, CostProfile] = {

@@ -3,7 +3,7 @@
 :mod:`repro.testing.faults` wraps a :class:`~repro.core.base.PreparedIndex`
 with failure-injecting proxies (crash, hard death, hang, corrupt output)
 whose triggers fire a fixed number of times across *all* processes, so
-every recovery path of :class:`~repro.future.resilient.ResilientParallelJoin`
+every recovery path of :class:`~repro.exec.resilient.ResilientParallelJoin`
 can be exercised without flaky timing or randomness.
 """
 

@@ -40,6 +40,7 @@ from repro.relations.relation import Relation, SetRecord
 __all__ = [
     "FaultTrigger",
     "FaultyIndex",
+    "IndexFault",
     "CrashingIndex",
     "DyingIndex",
     "SleepingIndex",
@@ -131,6 +132,36 @@ class FaultyIndex(PreparedIndex):
         return self.inner.memory_objects(probe_relation)
 
 
+class IndexFault:
+    """Picklable ``index_transform`` factory for the sharded executor.
+
+    The sharded executor builds each shard's index *inside* the worker
+    and applies ``index_transform`` there, so the transform itself must
+    cross the process boundary.  ``IndexFault`` carries a fault class,
+    a trigger, and keyword arguments; calling it wraps the freshly built
+    index.  It captures the constructing process's pid so pid-guarded
+    faults (:class:`DyingIndex`) still treat the *parent* — not the
+    worker that happens to run the wrap — as the process to spare.
+
+    >>> # transform = IndexFault(CrashingIndex, trigger)
+    >>> # ShardedJoin(index_transform=transform, ...)
+    """
+
+    def __init__(
+        self, fault: type[FaultyIndex], trigger: FaultTrigger, **kwargs: object
+    ) -> None:
+        self.fault = fault
+        self.trigger = trigger
+        self.kwargs = dict(kwargs)
+        self.parent_pid = os.getpid()
+
+    def __call__(self, inner: PreparedIndex) -> PreparedIndex:
+        kwargs = dict(self.kwargs)
+        if issubclass(self.fault, DyingIndex):
+            kwargs.setdefault("parent_pid", self.parent_pid)
+        return self.fault(inner, self.trigger, **kwargs)
+
+
 class CrashingIndex(FaultyIndex):
     """Raise :class:`~repro.errors.InjectedFaultError` while armed.
 
@@ -153,14 +184,26 @@ class DyingIndex(FaultyIndex):
     :class:`~concurrent.futures.ProcessPoolExecutor`.  Never fires in
     the parent process (``parent_pid``), so the in-process fallback and
     ``workers=1`` runs survive it.
+
+    Args:
+        parent_pid: The process that must survive; defaults to the
+            constructing process.  Pass it explicitly when the wrapper is
+            built *inside* a worker (the sharded executor applies its
+            transform per shard in the worker) — otherwise the worker
+            would register itself as the parent and never die.  Use
+            :class:`IndexFault`, which captures it automatically.
     """
 
     def __init__(
-        self, inner: PreparedIndex, trigger: FaultTrigger, exit_code: int = 3
+        self,
+        inner: PreparedIndex,
+        trigger: FaultTrigger,
+        exit_code: int = 3,
+        parent_pid: int | None = None,
     ) -> None:
         super().__init__(inner, trigger)
         self.exit_code = exit_code
-        self.parent_pid = os.getpid()
+        self.parent_pid = os.getpid() if parent_pid is None else parent_pid
 
     def _interfere(self, r: Relation) -> None:
         if os.getpid() != self.parent_pid and self.trigger.fire():

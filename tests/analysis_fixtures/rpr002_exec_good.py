@@ -1,0 +1,20 @@
+"""RPR002 fixture (good): module-level functions cross the boundary.
+
+Linted with ``module="repro.exec.fixture"``; mirrors how the sharded
+executor ships ``_join_shard`` payloads to its pool.
+"""
+
+
+def _join_shard(payload):
+    return payload
+
+
+def _init_worker():
+    return None
+
+
+def run(pool_cls, shards):
+    with pool_cls(initializer=_init_worker) as pool:
+        futures = [pool.submit(_join_shard, shard) for shard in shards]
+        results = pool.map(_join_shard, shards)
+    return futures, results

@@ -110,11 +110,34 @@ def test_clock_rule_allows_the_obs_layer():
     assert report.violations == []
 
 
-def test_pickle_rule_scoped_to_future_layer():
+def test_pickle_rule_scoped_to_executor_layers():
     report = lint_source(
         _fixture("rpr002_bad"), module="repro.core.fixture", select=["RPR002"]
     )
     assert report.violations == []
+
+
+def test_pickle_rule_covers_exec_package():
+    # PR 6 moved the executors to repro.exec; the rule follows them (and
+    # keeps watching the repro.future shims).
+    report = lint_source(
+        _fixture("rpr002_exec_bad"),
+        path="rpr002_exec_bad.py",
+        module="repro.exec.fixture",
+        select=["RPR002"],
+    )
+    assert len(report.violations) == 4
+    assert {v.rule_id for v in report.violations} == {"RPR002"}
+
+
+def test_pickle_rule_exec_good_twin_is_clean():
+    report = lint_source(
+        _fixture("rpr002_exec_good"),
+        path="rpr002_exec_good.py",
+        module="repro.exec.fixture",
+    )
+    assert report.violations == []
+    assert report.clean
 
 
 def test_immutability_rule_allows_planner_plan_itself():

@@ -27,8 +27,7 @@ from repro.core.registry import (
     plan,
     set_containment_join,
 )
-from repro.future.parallel import ParallelJoin
-from repro.future.resilient import ResilientParallelJoin, RetryPolicy
+from repro.exec import ParallelJoin, ResilientParallelJoin, RetryPolicy
 from repro.obs import Tracer, use
 from repro.planner import Workload
 from repro.relations.relation import Relation, SetRecord

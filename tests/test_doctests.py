@@ -18,7 +18,7 @@ import repro.datagen.synthetic
 import repro.extensions.equality
 import repro.extensions.similarity
 import repro.extensions.superset
-import repro.external.disk_join
+import repro.exec.disk
 import repro.external.psj
 import repro.baselines.pretti
 import repro.baselines.shj
@@ -42,7 +42,7 @@ MODULES = [
     repro.extensions.superset,
     repro.extensions.equality,
     repro.extensions.similarity,
-    repro.external.disk_join,
+    repro.exec.disk,
     repro.external.psj,
     repro.datagen.synthetic,
     repro.bench.reporting,

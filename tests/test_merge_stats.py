@@ -1,0 +1,120 @@
+"""Property tests for the shared partial-stats fold (:mod:`repro.exec.merge`).
+
+Every partitioned executor relies on :func:`repro.exec.merge.merge_stats`
+being order-insensitive: pooled pieces complete in nondeterministic order,
+yet the merged counters must be bit-for-bit reproducible.  That holds
+because the fold is a sum over the additive fields and a max over the
+structural ones — both associative and commutative.  Hypothesis checks
+the algebra directly: any permutation of the pieces, and any hierarchical
+grouping (merging pre-merged sub-aggregates), yields identical totals.
+
+Timing fields are floats, and float addition is *not* associative in
+general — but the executors only ever fold a bounded number of
+nonnegative wall-times.  The strategies below draw dyadic rationals
+(``n / 64`` with bounded ``n``) whose sums stay exactly representable,
+so equality here is exact, mirroring the determinism the executors
+actually get from summing in a fixed (shard-id / chunk-index) order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import JoinStats
+from repro.exec.merge import ADDITIVE_FIELDS, STRUCTURAL_FIELDS, merge_stats
+
+#: Exact dyadic wall-times: sums of any few hundred stay representable.
+_seconds = st.integers(min_value=0, max_value=1 << 20).map(lambda n: n / 64.0)
+_count = st.integers(min_value=0, max_value=1 << 40)
+
+
+@st.composite
+def join_stats(draw) -> JoinStats:
+    return JoinStats(
+        algorithm="part",
+        build_seconds=draw(_seconds),
+        probe_seconds=draw(_seconds),
+        pairs=draw(_count),
+        candidates=draw(_count),
+        verifications=draw(_count),
+        node_visits=draw(_count),
+        intersections=draw(_count),
+        index_nodes=draw(_count),
+        signature_bits=draw(st.integers(min_value=0, max_value=1 << 16)),
+    )
+
+
+def fold(parts: list[JoinStats]) -> JoinStats:
+    total = JoinStats(algorithm="total")
+    for part in parts:
+        merge_stats(total, part)
+    return total
+
+
+def merged_fields(stats: JoinStats) -> dict[str, float | int]:
+    return {f: getattr(stats, f) for f in ADDITIVE_FIELDS + STRUCTURAL_FIELDS}
+
+
+def test_field_partition_is_complete():
+    # Every numeric JoinStats field is either additive, structural, or
+    # deliberately excluded (pairs is derived from the concatenated pair
+    # list; extras are executor-shaped).  A new field must be classified.
+    numeric = {
+        f.name
+        for f in dataclasses.fields(JoinStats)
+        if f.name not in ("algorithm", "extras")
+    }
+    classified = set(ADDITIVE_FIELDS) | set(STRUCTURAL_FIELDS) | {"pairs"}
+    assert numeric == classified
+
+
+@given(parts=st.lists(join_stats(), max_size=8), data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_fold_is_permutation_invariant(parts, data):
+    shuffled = data.draw(st.permutations(parts))
+    assert merged_fields(fold(parts)) == merged_fields(fold(shuffled))
+
+
+@given(parts=st.lists(join_stats(), min_size=1, max_size=8), data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_hierarchical_merge_equals_flat_fold(parts, data):
+    # Split the pieces at an arbitrary point, merge each half into its
+    # own sub-aggregate, then merge the sub-aggregates — the grouped
+    # result must equal the flat left-to-right fold (associativity).
+    cut = data.draw(st.integers(min_value=0, max_value=len(parts)))
+    left, right = fold(parts[:cut]), fold(parts[cut:])
+    grouped = merge_stats(left, right)
+    assert merged_fields(grouped) == merged_fields(fold(parts))
+
+
+@given(part=join_stats())
+@settings(max_examples=50, deadline=None)
+def test_zero_is_the_identity(part):
+    before = merged_fields(part)
+    total = merge_stats(JoinStats(), dataclasses.replace(part))
+    assert merged_fields(total) == before
+    # And folding a zero part into an aggregate changes nothing.
+    untouched = fold([part])
+    merge_stats(untouched, JoinStats())
+    assert merged_fields(untouched) == before
+
+
+@given(part=join_stats())
+@settings(max_examples=50, deadline=None)
+def test_merge_mutates_and_returns_the_total(part):
+    total = JoinStats()
+    returned = merge_stats(total, part)
+    assert returned is total
+    # The part is never mutated by the fold.
+    snapshot = merged_fields(part)
+    merge_stats(JoinStats(), part)
+    assert merged_fields(part) == snapshot
+
+
+def test_pairs_is_not_merged():
+    total = JoinStats(pairs=3)
+    merge_stats(total, JoinStats(pairs=5))
+    assert total.pairs == 3

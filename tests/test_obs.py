@@ -22,7 +22,7 @@ from repro.extensions.equality import equality_join_on_index
 from repro.extensions.set_index import PatriciaSetIndex
 from repro.extensions.similarity import jaccard_join_on_index, similarity_join_on_index
 from repro.extensions.superset import superset_join_on_index
-from repro.future.resilient import ResilientParallelJoin, RetryPolicy
+from repro.exec import ResilientParallelJoin, RetryPolicy
 from repro.obs import (
     MetricsRegistry,
     NullTracer,

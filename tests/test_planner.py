@@ -14,8 +14,7 @@ from repro.core.registry import (
     set_containment_join,
 )
 from repro.errors import AlgorithmError, ExternalMemoryError, PlanError
-from repro.external.disk_join import DiskPartitionedJoin
-from repro.future.parallel import ParallelJoin
+from repro.exec import DiskPartitionedJoin, ParallelJoin, ShardedJoin
 from repro.obs import Tracer, use
 from repro.planner import (
     AUTO_CANDIDATES,
@@ -101,8 +100,16 @@ class TestPlanSelection:
         p = Planner().plan(make_stats(1000), make_stats(1000), workload)
         assert p.executor == "resilient"
 
-    def test_budget_binds_before_workers(self):
+    def test_budget_with_workers_plans_sharded(self):
+        # PR 6: when S exceeds the budget *and* workers are available, the
+        # planner shards the index across them instead of spilling to disk.
         workload = Workload(workers=4, memory_budget_tuples=100)
+        p = Planner().plan(make_stats(1000), make_stats(1000), workload)
+        assert p.executor == "sharded"
+        assert p.options()["shards"] >= 10  # ceil(|S| / budget)
+
+    def test_budget_without_workers_still_plans_disk(self):
+        workload = Workload(workers=1, memory_budget_tuples=100)
         p = Planner().plan(make_stats(1000), make_stats(1000), workload)
         assert p.executor == "disk"
 
@@ -385,3 +392,110 @@ class TestPlanSpan:
         from repro.obs.tracer import PHASES
 
         assert "plan" in PHASES
+
+
+# ----------------------------------------------------------------------
+# Sharded planning (PR 6: the planner costs S-index sharding)
+# ----------------------------------------------------------------------
+class TestShardedPlanning:
+    def test_explicit_shard_hint_plans_sharded(self):
+        workload = Workload(workers=2, shards=3)
+        p = Planner().plan(make_stats(1000), make_stats(1000), workload)
+        assert p.executor == "sharded"
+        assert p.options() == {"workers": 2, "shards": 3, "strategy": "element"}
+        chunking = p.decision("chunking")
+        detail = chunking.detail_dict()
+        assert detail["shards"] == 3
+        assert 1.0 <= detail["expected_probe_fanout"] <= 3.0
+        assert any(alt.choice == "signature partitioning" for alt in chunking.rejected)
+
+    def test_sharded_decision_costs_the_alternatives(self):
+        p = Planner().plan(make_stats(1000), make_stats(1000), Workload(workers=2, shards=3))
+        executor = p.decision("executor")
+        assert executor.choice == "sharded"
+        assert executor.cost is not None
+        assert {alt.choice for alt in executor.rejected} >= {"inline", "parallel"}
+
+    def test_probe_many_beats_shard_hint(self):
+        workload = Workload(mode="probe_many", workers=4, shards=4)
+        p = Planner().plan(None, make_stats(1000), workload)
+        assert p.executor == "inline"
+        rejected = {alt.choice for alt in p.decision("executor").rejected}
+        assert "sharded" in rejected
+
+    def test_unsharded_plans_record_sharded_as_rejected(self):
+        p = Planner().plan(make_stats(1000), make_stats(1000), Workload(workers=4))
+        assert p.executor == "parallel"
+        rejected = {alt.choice for alt in p.decision("executor").rejected}
+        assert "sharded" in rejected
+
+    def test_shard_count_scales_with_budget_pressure(self):
+        planner = Planner()
+        r, s = make_stats(1000), make_stats(1000)
+        assert planner._shard_count(r, s, Workload(workers=4)) == 4
+        assert planner._shard_count(r, s, Workload(workers=4, shards=9)) == 9
+        # Budget pressure raises the count past the worker count.
+        assert planner._shard_count(
+            r, s, Workload(workers=4, memory_budget_tuples=100)
+        ) == 10
+
+    def test_sharded_plan_round_trips_and_executes(self):
+        r = random_relation(40, 6, 30, seed=71)
+        s = random_relation(40, 4, 30, seed=72)
+        p = plan(r, s, workload=Workload(workers=2, shards=2))
+        assert p.executor == "sharded"
+        revived = Plan.from_json(p.to_json())
+        assert revived.workload.shards == 2
+        result = execute_plan(revived, r, s)
+        inline = execute_plan(Plan(algorithm=p.algorithm), r, s)
+        assert sorted(result.pairs) == sorted(inline.pairs)
+
+    def test_explain_renders_the_sharded_story(self):
+        p = Planner().plan(make_stats(1000), make_stats(1000), Workload(workers=2, shards=3))
+        text = p.explain()
+        assert "sharded" in text
+        assert "S-shard" in text
+        assert "expected_probe_fanout" in text
+
+
+class TestEstimateSharded:
+    def test_one_shard_one_worker_is_the_base_estimate(self):
+        r, s = make_stats(1000), make_stats(1000)
+        profile = COST_PROFILES["ptsj"]
+        base = profile.estimate(r, s, 64)
+        sharded = profile.estimate_sharded(r, s, 64, shards=1, workers=1)
+        assert sharded.build == base.build
+        assert sharded.probe == base.probe
+
+    def test_parallelism_divides_the_build(self):
+        r, s = make_stats(1000), make_stats(1000)
+        profile = COST_PROFILES["ptsj"]
+        base = profile.estimate(r, s, 64)
+        sharded = profile.estimate_sharded(r, s, 64, shards=4, workers=4)
+        assert sharded.build == pytest.approx(base.build / 4)
+
+    def test_element_routing_beats_signature_broadcast(self):
+        # Without skew, routed probes touch fewer shard-index fractions
+        # than a broadcast, so element partitioning must cost no more.
+        r, s = make_stats(1000, avg_c=8.0, median_c=8.0), make_stats(1000, avg_c=8.0, median_c=8.0)
+        profile = COST_PROFILES["ptsj"]
+        element = profile.estimate_sharded(r, s, 64, shards=8, workers=4, strategy="element")
+        signature = profile.estimate_sharded(r, s, 64, shards=8, workers=4, strategy="signature")
+        assert element.probe <= signature.probe
+
+    def test_skew_penalises_element_placement_only(self):
+        skewed = make_stats(1000, avg_c=32.0, median_c=4.0)  # skew = 8, capped at 2
+        uniform = make_stats(1000, avg_c=32.0, median_c=32.0)
+        profile = COST_PROFILES["ptsj"]
+        penalised = profile.estimate_sharded(make_stats(1000), skewed, 64, 4, 4)
+        clean = profile.estimate_sharded(make_stats(1000), uniform, 64, 4, 4)
+        assert penalised.probe == pytest.approx(clean.probe * 2.0)
+        sig_a = profile.estimate_sharded(make_stats(1000), skewed, 64, 4, 4, "signature")
+        sig_b = profile.estimate_sharded(make_stats(1000), uniform, 64, 4, 4, "signature")
+        assert sig_a.probe == pytest.approx(sig_b.probe)
+
+    def test_every_profile_estimates_sharded_without_error(self):
+        r, s = make_stats(100), make_stats(100)
+        for profile in COST_PROFILES.values():
+            est = profile.estimate_sharded(r, s, 16, shards=3, workers=2)
+            assert est.build >= 0 and est.probe >= 0

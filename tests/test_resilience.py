@@ -28,7 +28,7 @@ from repro.errors import (
     RetryExhaustedError,
     WorkerError,
 )
-from repro.future.resilient import (
+from repro.exec.resilient import (
     RESILIENCE_EXTRAS,
     ResilientParallelJoin,
     RetryPolicy,
