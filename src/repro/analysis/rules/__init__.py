@@ -16,6 +16,7 @@ from repro.analysis.rules import (
     clocks,
     counters,
     determinism,
+    governance,
     hygiene,
     immutability,
     pickling,
@@ -30,6 +31,7 @@ ALL_RULES = tuple(
             *hygiene.RULES,
             *determinism.RULES,
             *counters.RULES,
+            *governance.RULES,
         ),
         key=lambda rule: rule.id,
     )

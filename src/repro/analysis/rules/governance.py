@@ -1,0 +1,106 @@
+"""RPR009 — relation-sized loops must poll the governance cursor.
+
+The governance guarantee ("a cancelled or over-deadline join terminates
+within one poll interval") only holds if every loop whose trip count
+scales with relation size actually ticks a
+:class:`~repro.governance.policy.Governor`.  A new build or probe loop
+that forgets the tick silently re-opens an unbounded window — the kind
+of regression no runtime test catches until a join hangs in production.
+
+The rule is heuristic but tuned to this codebase's idiom: ``for``
+statements iterating a relation-shaped name (``r``, ``s``, a ``.records``
+attribute, an ``enumerate(...)`` of either) and ``while stack:`` trie
+traversals inside :mod:`repro.core` / :mod:`repro.exec` must contain a
+``.tick()`` or ``.poll()`` call somewhere in their body, or carry an
+explained line waiver (``# repro: noqa RPR009 <why this loop is
+bounded>``).  Comprehensions are exempt: they cannot carry statements,
+and the project keeps them for small bounded scans.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, Violation
+
+#: Variable names conventionally bound to a whole relation (or a
+#: relation-sized slice) in this codebase.
+RELATION_NAMES = frozenset(
+    {"r", "s", "relation", "probes", "chunk", "r_chunk", "s_part", "r_part"}
+)
+
+#: Attribute suffixes that expose a relation's full record tuple.
+RECORD_ATTRS = ("records", "_records")
+
+
+def _is_relation_expr(node: ast.expr) -> bool:
+    """Whether ``node`` looks like an iterable over a whole relation."""
+    if isinstance(node, ast.Name):
+        return node.id in RELATION_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in RECORD_ATTRS
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "enumerate"
+        and node.args
+    ):
+        return _is_relation_expr(node.args[0])
+    return False
+
+
+def _polls_governor(body: list[ast.stmt]) -> bool:
+    """Whether any statement in ``body`` calls a ``.tick()``/``.poll()``."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("tick", "poll")
+            ):
+                return True
+    return False
+
+
+def check_governed_loops(rule: Rule, ctx: ModuleContext) -> Iterator[Violation]:
+    if not ctx.in_package("repro.core", "repro.exec"):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.For) and _is_relation_expr(node.iter):
+            if not _polls_governor(node.body):
+                source = ast.unparse(node.iter)
+                yield ctx.violation(
+                    rule,
+                    node,
+                    f"relation-sized 'for' over {source!r} never ticks a "
+                    "governance cursor",
+                )
+        elif (
+            isinstance(node, ast.While)
+            and isinstance(node.test, ast.Name)
+            and node.test.id == "stack"
+        ):
+            if not _polls_governor(node.body):
+                yield ctx.violation(
+                    rule,
+                    node,
+                    "trie-traversal 'while stack:' loop never ticks a "
+                    "governance cursor",
+                )
+
+
+RULES = (
+    Rule(
+        id="RPR009",
+        title="relation-sized loop without a governance poll",
+        rationale="deadline/cancel enforcement is cooperative: a "
+        "build/probe loop that never ticks a Governor re-opens an "
+        "unbounded window in which a cancelled or over-deadline join "
+        "cannot stop.",
+        fixit="hoist `gov = governor(phase, stats)` before the loop and "
+        "add `if gov is not None: gov.tick()` per iteration, or waive a "
+        "genuinely bounded loop with `# repro: noqa RPR009 <reason>`",
+        check=check_governed_loops,
+    ),
+)

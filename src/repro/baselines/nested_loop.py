@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.core.base import JoinStats, PreparedIndex, SetContainmentJoin
+from repro.governance.policy import governor
 from repro.relations.relation import Relation, SetRecord
 
 __all__ = ["NestedLoopJoin", "NestedLoopPreparedIndex", "nested_loop_join_pairs"]
@@ -46,7 +47,10 @@ class NestedLoopPreparedIndex(PreparedIndex):
         stats = self._target(stats)
         r_set = record.elements
         r_card = len(r_set)
+        gov = governor("probe", stats)
         for s_rec in self._records:
+            if gov is not None:
+                gov.tick()
             stats.candidates += 1
             stats.verifications += 1
             if s_rec.cardinality <= r_card and s_rec.elements <= r_set:
@@ -62,4 +66,11 @@ class NestedLoopJoin(SetContainmentJoin):
     name = "nested-loop"
 
     def _prepare(self, s: Relation, probe_hint: Relation | None = None) -> NestedLoopPreparedIndex:
-        return NestedLoopPreparedIndex(tuple(s), s)
+        records: list[SetRecord] = []
+        append = records.append
+        gov = governor("build")
+        for rec in s:
+            if gov is not None:
+                gov.tick()
+            append(rec)
+        return NestedLoopPreparedIndex(tuple(records), s)

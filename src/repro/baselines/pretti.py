@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.core.base import JoinStats, PreparedIndex, SetContainmentJoin
+from repro.governance.policy import governor
 from repro.index.inverted import InvertedIndex
 from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation, SetRecord
@@ -55,8 +56,11 @@ class PrettiPreparedIndex(PreparedIndex):
         """
         stats = self._target(stats)
         elements = record.elements
+        gov = governor("probe", stats)
         stack = [self.trie.root]
         while stack:
+            if gov is not None:
+                gov.tick()
             node = stack.pop()
             stats.node_visits += 1
             if node.tuples:
@@ -84,8 +88,11 @@ class PrettiPreparedIndex(PreparedIndex):
         intersections_before = index.intersection_count
         visits = 0
         with tracer.span("traverse"):
+            gov = governor("probe", stats)
             stack: list[tuple] = [(self.trie.root, index.all_ids)]
             while stack:
+                if gov is not None:
+                    gov.tick()
                 node, current = stack.pop()
                 visits += 1
                 if node.tuples:
@@ -130,7 +137,10 @@ class PRETTI(SetContainmentJoin):
 
     def _prepare(self, s: Relation, probe_hint: Relation | None = None) -> PrettiPreparedIndex:
         trie = SetTrie()
+        gov = governor("build")
         for rec in s:
+            if gov is not None:
+                gov.tick()
             trie.insert(rec.sorted_elements(), rec.rid)
         self.trie = trie
         index = PrettiPreparedIndex(trie, s)

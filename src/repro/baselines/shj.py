@@ -32,6 +32,7 @@ from typing import Iterator
 from repro.core.base import CandidateGroup, JoinStats
 from repro.core.framework import SignatureJoinBase
 from repro.errors import AlgorithmError
+from repro.governance.policy import governor
 from repro.relations.relation import Relation
 from repro.signatures.bitmap import bit_segment
 
@@ -140,7 +141,10 @@ class SHJ(SignatureJoinBase):
         stats.extras["partial_bits"] = self.partial_bits
         buckets: dict[int, list[_Entry]] = {}
         signature = self.scheme.signature
+        gov = governor("build", stats)
         for rec in s:
+            if gov is not None:
+                gov.tick()
             sig = signature(rec.elements)
             key = bit_segment(sig, 0, self.partial_bits, bits)
             entry = _Entry(sig, CandidateGroup(rec.elements, rec.rid))

@@ -16,6 +16,7 @@ from typing import Iterator
 
 from repro.core.base import CandidateGroup, JoinStats
 from repro.core.framework import SignatureJoinBase, insert_into_groups
+from repro.governance.policy import governor
 from repro.relations.relation import Relation
 from repro.tries.binary_trie import BinaryTrie
 
@@ -46,11 +47,16 @@ class TSJ(SignatureJoinBase):
         assert self.scheme is not None
         trie = BinaryTrie(self.scheme.bits)
         signature = self.scheme.signature
+        gov = governor("build", stats)
         if self.merge_identical:
             for rec in s:
+                if gov is not None:
+                    gov.tick()
                 insert_into_groups(trie.insert(signature(rec.elements)), rec)
         else:
             for rec in s:
+                if gov is not None:
+                    gov.tick()
                 trie.insert(signature(rec.elements)).append(
                     CandidateGroup(rec.elements, rec.rid)
                 )

@@ -121,6 +121,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="partition the S-index into this many shards "
                               "(selects the sharded scale-out executor; "
                               "see docs/EXECUTORS.md)")
+        cmd.add_argument("--deadline-seconds", type=float, default=None,
+                         help="whole-join wall-clock bound: the planner "
+                              "rejects plans that cannot finish in time and "
+                              "every build/probe loop polls it; composes "
+                              "with the per-chunk --timeout-seconds "
+                              "(see docs/ROBUSTNESS.md)")
+        cmd.add_argument("--cancel-after", type=float, default=None,
+                         metavar="SECONDS",
+                         help="arm a cooperative cancel token that trips "
+                              "after SECONDS; the join stops with a typed "
+                              "CancelledError within one poll interval")
+        cmd.add_argument("--max-memory", type=int, default=None,
+                         metavar="BYTES",
+                         help="index-build memory budget in bytes "
+                              "(tracemalloc-sampled); a breach raises "
+                              "BudgetExceededError, or degrades to a "
+                              "partitioned executor on the resilient path")
 
     stat = sub.add_parser("stats", help="print dataset statistics (Table III columns)")
     stat.add_argument("path", help="dataset file, one set per line")
@@ -175,7 +192,9 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--timeout-seconds", type=float, default=None,
                       help="parallel strategy only: per-chunk wall-clock "
                            "budget; over-budget chunks finish in-process "
-                           "(enables the fault-tolerant executor)")
+                           "(enables the fault-tolerant executor). Bounds "
+                           "one chunk, not the join — for a whole-join "
+                           "bound use --deadline-seconds")
     join.add_argument("--no-fallback", action="store_true",
                       help="parallel strategy only: raise instead of probing "
                            "exhausted chunks in-process")
@@ -324,6 +343,33 @@ def _workload_from_args(args: argparse.Namespace) -> Workload:
         workers=args.workers,
         fault_tolerance=args.fault_tolerant,
         shards=args.shards,
+        deadline_seconds=args.deadline_seconds,
+        max_memory_bytes=args.max_memory,
+    )
+
+
+def _policy_from_args(args: argparse.Namespace):
+    """The governance policy the CLI flags describe, or ``None``.
+
+    The deadline clock and the cancel countdown start here — when the
+    join is about to run — not at parse time.
+    """
+    deadline_seconds = getattr(args, "deadline_seconds", None)
+    cancel_after = getattr(args, "cancel_after", None)
+    max_memory = getattr(args, "max_memory", None)
+    if deadline_seconds is None and cancel_after is None and max_memory is None:
+        return None
+    from repro.governance import CancelToken, Deadline, GovernancePolicy
+    from repro.obs.clock import monotonic
+
+    deadline = Deadline.after(deadline_seconds) if deadline_seconds is not None else None
+    cancel = (
+        CancelToken(cancel_at=monotonic() + cancel_after)
+        if cancel_after is not None
+        else None
+    )
+    return GovernancePolicy(
+        deadline=deadline, cancel=cancel, memory_budget_bytes=max_memory
     )
 
 
@@ -347,8 +393,11 @@ def _cmd_join(args: argparse.Namespace) -> int:
         kwargs["bits"] = args.bits
     algorithm = args.algorithm
     tracer = _make_tracer(args)
+    policy = _policy_from_args(args)
+    from repro.governance import govern
+
     start = perf_counter()
-    with use(tracer):
+    with use(tracer), govern(policy):
         if args.plan or args.explain:
             query_plan = plan_join(r, s, algorithm=algorithm,
                                    workload=_workload_from_args(args), **kwargs)
@@ -371,8 +420,11 @@ def _cmd_join(args: argparse.Namespace) -> int:
     degradation = {key: int(st.extras[key])
                    for key in ("retries", "timeouts", "fallback_chunks",
                                "fallback_shards", "pool_restarts",
-                               "corrupt_chunks", "corrupt_shards")
+                               "corrupt_chunks", "corrupt_shards",
+                               "cancelled_chunks")
                    if st.extras.get(key)}
+    if st.extras.get("degraded_to"):
+        degradation["degraded_to"] = st.extras["degraded_to"]
     if degradation:
         print("degraded: " + ", ".join(f"{k}={v}" for k, v in degradation.items()),
               file=sys.stderr)

@@ -43,6 +43,8 @@ from repro.analysis.sanitizer import (
     maybe_check_prepared_index,
     maybe_check_probe_accounting,
 )
+from repro.governance.memory import traced_build
+from repro.governance.policy import current_policy, governor
 from repro.obs.clock import perf_counter
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import current_tracer
@@ -277,7 +279,10 @@ class PreparedIndex(ABC):
         """Default batch probe: one streaming :meth:`probe` per record."""
         pairs: list[tuple[int, int]] = []
         append = pairs.append
+        gov = governor("probe", stats)
         for rec in r:
+            if gov is not None:
+                gov.tick()
             r_id = rec.rid
             for s_id in self.probe(rec, stats):
                 append((r_id, s_id))
@@ -396,9 +401,16 @@ class SetContainmentJoin(ABC):
                 parameterisation.
         """
         tracer = current_tracer()
-        with tracer.span("build"):
+        with tracer.span("build"), traced_build(current_policy()):
+            # Boundary governor: its memory base is sampled *before* the
+            # build, and the poll after `_prepare` returns checks every
+            # bound once at the build boundary — so a build smaller than
+            # the poll cadence still has its budget and deadline honored.
+            gov = governor("build")
             start = perf_counter()
             index = self._prepare(s, probe_hint)
+            if gov is not None:
+                gov.poll()
             index.build_seconds = perf_counter() - start
             if tracer.enabled:
                 tracer.count("index_builds")

@@ -26,6 +26,7 @@ from repro.core.base import (
     PreparedIndex,
     SetContainmentJoin,
 )
+from repro.governance.policy import governor
 from repro.obs.tracer import current_tracer
 from repro.obs.clock import perf_counter
 from repro.relations.relation import Relation, SetRecord
@@ -115,7 +116,10 @@ class SignaturePreparedIndex(PreparedIndex):
         leaf_hits = 0
         pairs: list[tuple[int, int]] = []
         append = pairs.append
+        gov = governor("probe", stats)
         for rec in r:
+            if gov is not None:
+                gov.tick()
             r_set = rec.elements
             r_id = rec.rid
             t0 = perf()

@@ -31,6 +31,8 @@ __all__ = [
     "validate_shard_strategy",
     "validate_start_method",
     "validate_timeout_seconds",
+    "validate_deadline_seconds",
+    "validate_max_memory_bytes",
     "validate_max_tuples",
     "validate_probe_batches",
 ]
@@ -84,10 +86,39 @@ def validate_start_method(start_method: str | None) -> str | None:
 
 
 def validate_timeout_seconds(timeout_seconds: float | None) -> float | None:
-    """Per-chunk wall-clock budget: ``None`` (disabled) or positive."""
+    """**Per-chunk** wall-clock budget: ``None`` (disabled) or positive.
+
+    The budget applies to each probe chunk (or shard task) independently;
+    an over-budget chunk is abandoned and completed in-process while the
+    join as a whole keeps running.  The **whole-join** bound is
+    ``deadline_seconds`` (:func:`validate_deadline_seconds`), which stops
+    build *and* probe work across every executor at the next governance
+    poll.  The two compose: a join may carry both.
+    """
     if timeout_seconds is not None:
         _require_positive("timeout_seconds", timeout_seconds, AlgorithmError)
     return timeout_seconds
+
+
+def validate_deadline_seconds(deadline_seconds: float | None) -> float | None:
+    """**Whole-join** wall-clock budget: ``None`` (disabled) or positive.
+
+    Unlike the per-chunk ``timeout_seconds``
+    (:func:`validate_timeout_seconds`), the deadline bounds the entire
+    join — planning, index build, and every probe — and breaching it
+    raises :class:`~repro.errors.DeadlineExceededError` rather than
+    degrading a single chunk.
+    """
+    if deadline_seconds is not None:
+        _require_positive("deadline_seconds", deadline_seconds, AlgorithmError)
+    return deadline_seconds
+
+
+def validate_max_memory_bytes(max_memory_bytes: int | None) -> int | None:
+    """Index-build byte budget: ``None`` (disabled) or positive."""
+    if max_memory_bytes is not None:
+        _require_positive("max_memory_bytes", max_memory_bytes, AlgorithmError)
+    return max_memory_bytes
 
 
 def validate_max_tuples(max_tuples: int) -> int:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.core.base import JoinStats, PreparedIndex, SetContainmentJoin
+from repro.governance.policy import governor
 from repro.index.inverted import InvertedIndex
 from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation, SetRecord
@@ -49,8 +50,11 @@ class PrettiPlusPreparedIndex(PreparedIndex):
         """Stream s-ids whose set is contained in ``record``'s set."""
         stats = self._target(stats)
         elements = record.elements
+        gov = governor("probe", stats)
         stack = [self.trie.root]
         while stack:
+            if gov is not None:
+                gov.tick()
             node = stack.pop()
             stats.node_visits += 1
             if node.tuples:
@@ -83,8 +87,11 @@ class PrettiPlusPreparedIndex(PreparedIndex):
             # Stack entries carry the candidate list *after* the node's prefix
             # has been applied; the root's prefix is empty so it starts with all
             # R-ids (every R-tuple contains the empty prefix).
+            gov = governor("probe", stats)
             stack: list[tuple] = [(self.trie.root, index.all_ids)] if index.all_ids else []
             while stack:
+                if gov is not None:
+                    gov.tick()
                 node, current = stack.pop()
                 visits += 1
                 if node.tuples:
@@ -133,7 +140,10 @@ class PRETTIPlus(SetContainmentJoin):
 
     def _prepare(self, s: Relation, probe_hint: Relation | None = None) -> PrettiPlusPreparedIndex:
         trie = SetPatriciaTrie()
+        gov = governor("build")
         for rec in s:
+            if gov is not None:
+                gov.tick()
             trie.insert(rec.sorted_elements(), rec.rid)
         self.trie = trie
         index = PrettiPlusPreparedIndex(trie, s)

@@ -13,6 +13,7 @@ import random  # repro: noqa RPR006 every use is Random(seed): the sampled oracl
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.governance.policy import governor
 from repro.relations.relation import Relation
 
 __all__ = ["ValidationReport", "verify_join_result"]
@@ -79,8 +80,13 @@ def verify_join_result(
     total_cells = len(r) * len(s)
     checked_candidates = 0
     if sample is None or total_cells <= sample:
+        # The exhaustive oracle is |R| x |S|: the one loop in this package
+        # most in need of a governance bound.
+        gov = governor("probe")
         for r_rec in r:
             for s_rec in s:
+                if gov is not None:
+                    gov.tick()
                 checked_candidates += 1
                 if r_rec.elements >= s_rec.elements and (r_rec.rid, s_rec.rid) not in claimed:
                     missing.append((r_rec.rid, s_rec.rid))

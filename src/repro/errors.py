@@ -92,3 +92,61 @@ class RetryExhaustedError(WorkerError):
 
 class InjectedFaultError(WorkerError):
     """A deliberate failure raised by :mod:`repro.testing.faults` wrappers."""
+
+
+class GovernanceError(ReproError):
+    """A resource-governance bound stopped a join (:mod:`repro.governance`).
+
+    The subclasses below are the typed outcomes of cooperative governance:
+    the join was *asked* to stop at the next poll point, so indexes, pools
+    and spill files are released before the error propagates.  Contrast
+    :class:`WorkerError`, which reports a failure the join did not choose.
+    """
+
+
+class DeadlineExceededError(GovernanceError):
+    """The whole-join ``deadline_seconds`` budget ran out.
+
+    Raised either up front by the planner/executor when a plan's estimated
+    cost cannot fit in the remaining deadline, or mid-flight by the first
+    governance poll after the deadline passes.  Per-chunk budgets raise
+    :class:`JoinTimeoutError` instead.
+    """
+
+
+class CancelledError(GovernanceError):
+    """A :class:`~repro.governance.CancelToken` was tripped mid-join."""
+
+
+class BudgetExceededError(GovernanceError):
+    """Index build breached the ``max_memory_bytes`` budget.
+
+    Carries partial accounting so the resilient ladder can re-plan the
+    same workload onto a partitioned executor sized from what was learned
+    before the breach.
+
+    Attributes:
+        budget_bytes: The configured byte budget.
+        used_bytes: Bytes attributed to the build when the breach was seen.
+        records_indexed: Records inserted before the breach (approximate:
+            governance polls run every ``poll_interval`` records).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget_bytes: int = 0,
+        used_bytes: int = 0,
+        records_indexed: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.budget_bytes = budget_bytes
+        self.used_bytes = used_bytes
+        self.records_indexed = records_indexed
+
+    def __reduce__(self):  # type: ignore[no-untyped-def]
+        # Keep the accounting attributes across a process boundary: the
+        # default exception reduction re-calls ``cls(*args)`` and would
+        # zero them out.
+        args = (self.args[0], self.budget_bytes, self.used_bytes, self.records_indexed)
+        return (type(self), args)

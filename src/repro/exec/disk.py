@@ -24,6 +24,7 @@ from repro.core.base import JoinResult, JoinStats
 from repro.core.options import validate_max_tuples
 from repro.exec.merge import merge_stats
 from repro.exec.protocol import BaseExecutor
+from repro.governance.policy import governor
 from repro.obs.tracer import current_tracer
 from repro.external.partition import SpilledRelation
 from repro.obs.clock import perf_counter
@@ -97,6 +98,8 @@ class DiskPartitionedJoin(BaseExecutor):
         else:
             workdir = Path(self.workdir)
         tracer = current_tracer()
+        r_spill: SpilledRelation | None = None
+        s_spill: SpilledRelation | None = None
         try:
             with tracer.span("spill"):
                 spill_start = perf_counter()
@@ -112,11 +115,17 @@ class DiskPartitionedJoin(BaseExecutor):
             # merge under the current span — the trace shows the summed
             # build/probe cost exactly as the aggregated stats do, with
             # the quadratic partition-load I/O visible as ``load``.
+            # Governance bounds are re-checked between partition pairs, so
+            # a cancelled or over-deadline join stops after the pair in
+            # flight (each per-pair join also polls internally).
+            gov = governor("probe", stats)
             pairs: list[tuple[int, int]] = []
             for s_index in range(len(s_spill)):
                 with tracer.span("load"):
                     s_part = s_spill.load(s_index)
                 for r_index in range(len(r_spill)):
+                    if gov is not None:
+                        gov.poll()
                     with tracer.span("load"):
                         r_part = r_spill.load(r_index)
                     algo = make_algorithm(self.algorithm, **self.algorithm_kwargs)
@@ -127,9 +136,14 @@ class DiskPartitionedJoin(BaseExecutor):
             stats.extras["s_partitions"] = len(s_spill)
             stats.extras["partition_loads"] = r_spill.reads + s_spill.reads
             stats.extras["spill_seconds"] = spill_seconds
-            r_spill.cleanup()
-            s_spill.cleanup()
         finally:
+            # Spill files must never outlive the join — an abort between
+            # spill and merge (deadline, cancel, per-pair failure) would
+            # otherwise leak partitions into a caller-owned workdir.
+            if r_spill is not None:
+                r_spill.cleanup()
+            if s_spill is not None:
+                s_spill.cleanup()
             if own_tmp is not None:
                 own_tmp.cleanup()
         return JoinResult(pairs, stats)

@@ -15,10 +15,22 @@ from __future__ import annotations
 from typing import Any, ClassVar
 
 from repro.core.base import JoinResult
+from repro.errors import AlgorithmError
 from repro.exec.protocol import BaseExecutor
 from repro.relations.relation import Relation
 
 __all__ = ["InlineJoin"]
+
+#: Bounds only the pooled executors can honor.  Accepting them here would
+#: silently drop a user's budget whenever a plan falls back to the inline
+#: path — the failure mode this guard turns into a loud error.
+_POOLED_ONLY_OPTIONS = (
+    "timeout_seconds",
+    "retries",
+    "retry_policy",
+    "fallback",
+    "validate_results",
+)
 
 
 class InlineJoin(BaseExecutor):
@@ -27,9 +39,28 @@ class InlineJoin(BaseExecutor):
     Args:
         algorithm: Registry name of the in-memory algorithm.
         **algorithm_kwargs: Forwarded to the algorithm factory.
+
+    Raises:
+        AlgorithmError: If a pooled-executor resilience option
+            (``timeout_seconds``, ``retries``, ...) is passed: the inline
+            path cannot enforce per-chunk bounds, and dropping them
+            silently would lose the caller's budget.  Whole-join bounds
+            belong in a :class:`~repro.governance.GovernancePolicy`
+            (``deadline_seconds``), which the inline path *does* honor.
     """
 
     name: ClassVar[str] = "inline"
+
+    def __init__(self, algorithm: str = "ptsj", **algorithm_kwargs) -> None:
+        rejected = [key for key in _POOLED_ONLY_OPTIONS if key in algorithm_kwargs]
+        if rejected:
+            raise AlgorithmError(
+                f"InlineJoin cannot honor {', '.join(sorted(rejected))}: "
+                "per-chunk resilience options need a pooled executor "
+                "(parallel/resilient/sharded); for a whole-join bound use "
+                "deadline_seconds instead"
+            )
+        super().__init__(algorithm=algorithm, **algorithm_kwargs)
 
     def join(self, r: Relation, s: Relation) -> JoinResult:
         """Run the classic one-shot join: prepare + one ``probe_many``."""

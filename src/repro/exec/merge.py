@@ -32,7 +32,13 @@ from __future__ import annotations
 
 from repro.core.base import JoinStats
 
-__all__ = ["merge_stats", "ADDITIVE_FIELDS", "STRUCTURAL_FIELDS"]
+__all__ = [
+    "merge_stats",
+    "ADDITIVE_FIELDS",
+    "STRUCTURAL_FIELDS",
+    "ADDITIVE_EXTRAS",
+    "MARKER_EXTRAS",
+]
 
 #: JoinStats fields summed by :func:`merge_stats` (work accumulates).
 ADDITIVE_FIELDS = (
@@ -46,6 +52,16 @@ ADDITIVE_FIELDS = (
 
 #: JoinStats fields maxed by :func:`merge_stats` (structure, not work).
 STRUCTURAL_FIELDS = ("index_nodes", "signature_bits")
+
+#: Governance ``extras`` summed across pieces when present: bound checks
+#: performed and chunks stranded by an abort accumulate like work.
+ADDITIVE_EXTRAS = ("deadline_polls", "cancelled_chunks")
+
+#: Governance ``extras`` combined by ``max`` when present: a degradation
+#: marker names the executor a piece was re-planned onto, and lexicographic
+#: max is associative and commutative, so a partial (cancelled) shard set
+#: merges to the same marker in any fold order.
+MARKER_EXTRAS = ("degraded_to",)
 
 
 def merge_stats(total: JoinStats, part: JoinStats) -> JoinStats:
@@ -64,7 +80,10 @@ def merge_stats(total: JoinStats, part: JoinStats) -> JoinStats:
     concatenated pair list by :class:`~repro.core.base.JoinResult`, which
     keeps the counter impossible to desynchronise from the output.
     ``extras`` are piece-shape-specific (chunk vs partition vs shard) and
-    are maintained by each executor.
+    are maintained by each executor — with one exception: the governance
+    extras (:data:`ADDITIVE_EXTRAS`, :data:`MARKER_EXTRAS`) mean the same
+    thing on every path, so pieces that carry them merge here (summed and
+    maxed respectively, both associative and commutative).
     """
     total.build_seconds += part.build_seconds
     total.probe_seconds += part.probe_seconds
@@ -74,4 +93,12 @@ def merge_stats(total: JoinStats, part: JoinStats) -> JoinStats:
     total.intersections += part.intersections
     total.index_nodes = max(total.index_nodes, part.index_nodes)
     total.signature_bits = max(total.signature_bits, part.signature_bits)
+    for key in ADDITIVE_EXTRAS:
+        if key in part.extras:
+            total.extras[key] = total.extras.get(key, 0) + part.extras[key]
+    for key in MARKER_EXTRAS:
+        if key in part.extras:
+            seen = total.extras.get(key)
+            value = part.extras[key]
+            total.extras[key] = value if seen is None else max(seen, value)
     return total

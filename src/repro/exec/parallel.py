@@ -35,6 +35,7 @@ from repro.core.options import validate_chunks, validate_start_method, validate_
 from repro.exec.merge import merge_stats
 from repro.exec.protocol import BaseExecutor
 from repro.external.partition import partition_relation
+from repro.governance.policy import GovernancePolicy, current_policy, governor, set_policy
 from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation
 
@@ -52,10 +53,17 @@ merge_chunk_stats = merge_stats
 _WORKER_INDEX: PreparedIndex | None = None
 
 
-def _init_worker(index: PreparedIndex) -> None:
-    """Pool initializer: bind the parent's prepared index in this worker."""
+def _init_worker(index: PreparedIndex, policy: GovernancePolicy | None = None) -> None:
+    """Pool initializer: bind the parent's prepared index in this worker.
+
+    The parent's governance policy (deadline/cancel token) travels the
+    same way, so worker probe loops poll the *parent's* bounds — the
+    deadline is an absolute monotonic instant (system-wide on POSIX) and
+    the token can be flag-file backed, so both read identically here.
+    """
     global _WORKER_INDEX
     _WORKER_INDEX = index
+    set_policy(policy)
 
 
 def _probe_chunk(r_chunk: Relation) -> tuple[list[tuple[int, int]], JoinStats]:
@@ -144,11 +152,14 @@ class ParallelJoin(BaseExecutor):
             if self.start_method is not None
             else None
         )
+        policy = current_policy()
+        if policy is not None:
+            policy = policy.worker_policy()
         return ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(index,),
+            initargs=(index, policy),
         )
 
     def _partition(self, r: Relation, stats: JoinStats) -> list[Relation]:
@@ -180,8 +191,17 @@ class ParallelJoin(BaseExecutor):
                 for res in (index.probe_many(chunk) for chunk in r_chunks)
             ]
         else:
+            gov = governor("probe", stats)
             with self._make_pool(index) as pool:
-                outcomes = list(pool.map(_probe_chunk, r_chunks))
+                outcomes = []
+                for outcome in pool.map(_probe_chunk, r_chunks):
+                    outcomes.append(outcome)
+                    # Fail-fast executor: the parent re-checks the bounds
+                    # between chunk completions, so a breach that never
+                    # reaches a worker (e.g. cancel without a flag file)
+                    # still stops the join within one chunk.
+                    if gov is not None:
+                        gov.poll()
             for _, chunk_stats in outcomes:
                 record_chunk_span(tracer, chunk_stats)
         for chunk_pairs, chunk_stats in outcomes:

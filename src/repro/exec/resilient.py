@@ -42,11 +42,15 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from dataclasses import replace
+
 from repro.core.base import JoinResult, JoinStats, PreparedIndex
 from repro.core.options import validate_timeout_seconds
 from repro.obs.clock import monotonic
 from repro.errors import (
     AlgorithmError,
+    BudgetExceededError,
+    GovernanceError,
     JoinTimeoutError,
     RetryExhaustedError,
     WorkerError,
@@ -57,6 +61,7 @@ from repro.exec.parallel import (
     _probe_chunk,
     record_chunk_span,
 )
+from repro.governance.policy import current_policy, govern, governor
 from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation
 
@@ -208,7 +213,13 @@ class ResilientParallelJoin(ParallelJoin):
         # ``pristine`` never leaves the parent: it is the known-good copy
         # the in-process fallback probes.  Workers get the (possibly
         # fault-wrapped) ``index``.
-        pristine = self.prepare(s, probe_hint=r)
+        try:
+            pristine = self.prepare(s, probe_hint=r)
+        except BudgetExceededError as breach:
+            # The one governance error the ladder recovers from: a build
+            # that cannot fit in memory is re-planned onto a partitioned
+            # executor instead of failing the join (docs/ROBUSTNESS.md).
+            return self._degrade(r, s, breach, stats)
         index = pristine
         if self.index_transform is not None:
             index = self.index_transform(pristine)
@@ -235,6 +246,68 @@ class ResilientParallelJoin(ParallelJoin):
         return JoinResult(pairs, stats)
 
     # ------------------------------------------------------------------
+    # Memory-pressure degradation
+    # ------------------------------------------------------------------
+    def _degrade(
+        self, r: Relation, s: Relation, breach: BudgetExceededError, stats: JoinStats
+    ) -> JoinResult:
+        """Re-plan a budget-breached build onto a partitioned executor.
+
+        The breach carries partial accounting (bytes used, records
+        indexed), which sizes the degraded run: with workers to spare the
+        index side is sharded so each shard's build fits the budget;
+        single-worker joins degrade to the disk executor with a
+        ``max_tuples`` derived the same way.  The degraded run keeps the
+        deadline and cancel token but drops the byte budget — its
+        partitions were sized *from* the budget, and re-tripping inside a
+        shard would turn recovery into a loop.
+        """
+        per_record = breach.used_bytes / max(breach.records_indexed, 1)
+        tracer = current_tracer()
+        policy = current_policy()
+        with tracer.span("governance"):
+            if tracer.enabled:
+                tracer.count("budget_breaches")
+            if self.workers > 1:
+                from repro.exec.sharded import ShardedJoin
+
+                target = "sharded"
+                need = (len(s) * per_record) / max(breach.budget_bytes, 1)
+                shards = max(self.workers, 2, int(need) + (1 if need > int(need) else 0))
+                executor: ParallelJoin | Any = ShardedJoin(
+                    algorithm=self.algorithm,
+                    workers=self.workers,
+                    shards=shards,
+                    start_method=self.start_method,
+                    retry_policy=self.retry_policy,
+                    timeout_seconds=self.timeout_seconds,
+                    fallback=self.fallback,
+                    validate_results=self.validate_results,
+                    **self.algorithm_kwargs,
+                )
+            else:
+                from repro.exec.disk import DiskPartitionedJoin
+
+                target = "disk"
+                max_tuples = max(1, int(breach.budget_bytes / max(per_record, 1.0)))
+                executor = DiskPartitionedJoin(
+                    algorithm=self.algorithm,
+                    max_tuples=max_tuples,
+                    **self.algorithm_kwargs,
+                )
+            degraded_policy = (
+                replace(policy, memory_budget_bytes=None) if policy is not None else None
+            )
+            with govern(degraded_policy):
+                result = executor.join(r, s)
+        merged = result.stats
+        merged.extras["degraded_to"] = target
+        merged.extras["budget_breach_bytes"] = breach.used_bytes
+        merged.extras.setdefault("deadline_polls", 0)
+        merged.extras["deadline_polls"] += stats.extras.get("deadline_polls", 0)
+        return JoinResult(result.pairs, merged)
+
+    # ------------------------------------------------------------------
     # In-process execution (workers == 1)
     # ------------------------------------------------------------------
     def _run_chunk_inline(
@@ -258,6 +331,10 @@ class ResilientParallelJoin(ParallelJoin):
                 result = index.probe_many(task.chunk)
                 self._check_result(task, result.pairs, s_ids, stats)
                 return result.pairs, result.stats
+            except GovernanceError:
+                # Deadline/cancel/budget bounds are terminal by design:
+                # retrying a chunk cannot buy back elapsed wall time.
+                raise
             except Exception as exc:  # noqa: BLE001 - any worker fault is retryable
                 last_error = exc
         return self._exhausted(task, pristine, stats, last_error)
@@ -279,10 +356,17 @@ class ResilientParallelJoin(ParallelJoin):
         pending: dict[Future, _ChunkTask] = {}
         abandoned = False
         completed = False
+        gov = governor("probe", stats)
         try:
             for task in tasks:
                 self._submit(pool, task, pending)
             while pending:
+                # The parent re-checks the bounds once per scheduling round:
+                # even if every worker is wedged (so no chunk ever reports a
+                # governance error itself), _wait_round's bounded sleep plus
+                # this poll stops the join within one poll interval.
+                if gov is not None:
+                    gov.poll()
                 done = self._wait_round(pending)
                 pool_broken = False
                 for future in done:
@@ -296,6 +380,10 @@ class ResilientParallelJoin(ParallelJoin):
                     except BrokenProcessPool:
                         pool_broken = True
                         retry_now = False
+                    except GovernanceError:
+                        # A worker hit the deadline/cancel bound: terminal,
+                        # never retried, never completed via fallback.
+                        raise
                     except Exception as exc:  # noqa: BLE001 - retryable worker fault
                         last_error = exc
                         retry_now = True
@@ -316,6 +404,17 @@ class ResilientParallelJoin(ParallelJoin):
                     pool = self._restart_pool(pool, index, pristine, pending, results, stats)
                 abandoned |= self._expire_overdue(pending, pristine, stats, results)
             completed = True
+        except GovernanceError:
+            # Record how many chunks the abort stranded before the finally
+            # block force-terminates their workers.  tracer.record survives
+            # the raise, so the span tree stays balanced and still shows
+            # the abort.
+            cancelled = sum(1 for outcome in results if outcome is None)
+            stats.extras["cancelled_chunks"] = (
+                stats.extras.get("cancelled_chunks", 0) + cancelled
+            )
+            current_tracer().record("governance", 0.0, {"cancelled_chunks": cancelled})
+            raise
         finally:
             # An abnormal exit may leave hung workers behind; terminate
             # them rather than letting shutdown await a process that will
@@ -335,11 +434,26 @@ class ResilientParallelJoin(ParallelJoin):
         pending[future] = task
 
     def _wait_round(self, pending: dict[Future, _ChunkTask]) -> set[Future]:
-        """Block until a future completes or the nearest deadline passes."""
+        """Block until a future completes or the nearest bound passes.
+
+        The wait is additionally capped by the governance policy so the
+        blocked parent wakes to poll: at the join deadline's remaining
+        time, and at 50ms whenever a cancel token is armed (a token has
+        no absolute instant to sleep until).
+        """
         wait_timeout: float | None = None
         if self.timeout_seconds is not None:
             nearest = min(task.deadline for task in pending.values() if task.deadline)
             wait_timeout = max(0.0, nearest - monotonic())
+        policy = current_policy()
+        if policy is not None:
+            if policy.cancel is not None:
+                wait_timeout = 0.05 if wait_timeout is None else min(wait_timeout, 0.05)
+            if policy.deadline is not None:
+                remaining = max(0.0, policy.deadline.remaining())
+                wait_timeout = (
+                    remaining if wait_timeout is None else min(wait_timeout, remaining)
+                )
         done, _ = wait(set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED)
         return done
 

@@ -60,10 +60,11 @@ from repro.core.options import (
     validate_timeout_seconds,
     validate_workers,
 )
-from repro.errors import JoinTimeoutError, RetryExhaustedError, WorkerError
+from repro.errors import GovernanceError, JoinTimeoutError, RetryExhaustedError, WorkerError
 from repro.exec.merge import merge_stats
 from repro.exec.protocol import BaseExecutor
 from repro.exec.resilient import RetryPolicy
+from repro.governance.policy import GovernancePolicy, current_policy, governor, set_policy
 from repro.obs.clock import monotonic
 from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation, SetRecord
@@ -133,6 +134,7 @@ def _join_shard(
         Relation,
         Relation,
         Callable[[PreparedIndex], PreparedIndex] | None,
+        GovernancePolicy | None,
     ],
 ) -> tuple[list[tuple[int, int]], JoinStats]:
     """Worker entry point (module-level so it pickles): build *and* probe.
@@ -142,14 +144,27 @@ def _join_shard(
     locally, applies the (picklable) fault transform if any, and probes.
     The returned stats include the shard's build time, nodes and
     signature bits, so the parent's merge accounts for every build.
+
+    The payload's last slot is the parent's governance policy (or None):
+    the deadline is an absolute monotonic instant and the cancel token
+    can be flag-file backed, so the worker's build/probe loops poll the
+    *parent's* bounds.  An in-process call passes None and inherits the
+    caller's ambient policy instead of clobbering it.
     """
-    shard_id, algorithm, algorithm_kwargs, s_part, probes, transform = payload
+    shard_id, algorithm, algorithm_kwargs, s_part, probes, transform, policy = payload
     from repro.core.registry import make_algorithm
 
-    index = make_algorithm(algorithm, **algorithm_kwargs).prepare(s_part, probe_hint=probes)
-    if transform is not None:
-        index = transform(index)
-    result = index.probe_many(probes)
+    previous = set_policy(policy) if policy is not None else None
+    try:
+        index = make_algorithm(algorithm, **algorithm_kwargs).prepare(
+            s_part, probe_hint=probes
+        )
+        if transform is not None:
+            index = transform(index)
+        result = index.probe_many(probes)
+    finally:
+        if policy is not None:
+            set_policy(previous)
     stats = result.stats
     stats.build_seconds += index.build_seconds
     stats.index_nodes = max(stats.index_nodes, index.index_nodes)
@@ -284,14 +299,20 @@ class ShardedJoin(BaseExecutor):
     def _partition_s(self, s: Relation) -> list[list[SetRecord]]:
         """Distribute ``S`` into shards, preserving record order within each."""
         parts: list[list[SetRecord]] = [[] for _ in range(self.shards)]
+        gov = governor("build")
         for rec in s:
+            if gov is not None:
+                gov.tick()
             parts[shard_of(rec, self.shards, self.strategy)].append(rec)
         return parts
 
     def _route_r(self, r: Relation, s_has_empty: bool) -> list[list[SetRecord]]:
         """Replicate each probe record to its target shards, in R order."""
         routed: list[list[SetRecord]] = [[] for _ in range(self.shards)]
+        gov = governor("probe")
         for rec in r:
+            if gov is not None:
+                gov.tick()
             for shard_id in route_probe(rec, self.shards, self.strategy, s_has_empty):
                 routed[shard_id].append(rec)
         return routed
@@ -318,7 +339,7 @@ class ShardedJoin(BaseExecutor):
             stats.extras[key] = 0
         return tasks
 
-    def _payload(self, task: _ShardTask):
+    def _payload(self, task: _ShardTask, policy: GovernancePolicy | None = None):
         return (
             task.shard_id,
             self.algorithm,
@@ -326,6 +347,7 @@ class ShardedJoin(BaseExecutor):
             task.s_part,
             task.probes,
             self.index_transform,
+            policy,
         )
 
     # ------------------------------------------------------------------
@@ -370,6 +392,10 @@ class ShardedJoin(BaseExecutor):
                 shard_pairs, shard_stats = _join_shard(self._payload(task))
                 self._check_result(task, shard_pairs, stats)
                 return shard_pairs, shard_stats
+            except GovernanceError:
+                # Deadline/cancel/budget bounds are terminal by design:
+                # retrying a shard cannot buy back elapsed wall time.
+                raise
             except Exception as exc:  # noqa: BLE001 - any shard fault is retryable
                 last_error = exc
         return self._exhausted(task, stats, last_error)
@@ -387,10 +413,15 @@ class ShardedJoin(BaseExecutor):
         pending: dict[Future, _ShardTask] = {}
         abandoned = False
         completed = False
+        gov = governor("probe", stats)
         try:
             for task in tasks:
                 self._submit(pool, task, pending)
             while pending:
+                # Parent-side bound check once per scheduling round, so a
+                # breach stops the join even when every worker is wedged.
+                if gov is not None:
+                    gov.poll()
                 done = self._wait_round(pending)
                 pool_broken = False
                 for future in done:
@@ -404,6 +435,10 @@ class ShardedJoin(BaseExecutor):
                     except BrokenProcessPool:
                         pool_broken = True
                         retry_now = False
+                    except GovernanceError:
+                        # A worker hit the deadline/cancel bound: terminal,
+                        # never retried, never completed via fallback.
+                        raise
                     except Exception as exc:  # noqa: BLE001 - retryable shard fault
                         last_error = exc
                         retry_now = True
@@ -426,6 +461,15 @@ class ShardedJoin(BaseExecutor):
                     pool = self._restart_pool(pool, pending, positions, results, stats)
                 abandoned |= self._expire_overdue(pending, positions, results, stats)
             completed = True
+        except GovernanceError:
+            # Record how many shards the abort stranded before the finally
+            # block force-terminates their workers.
+            cancelled = sum(1 for outcome in results if outcome is None)
+            stats.extras["cancelled_chunks"] = (
+                stats.extras.get("cancelled_chunks", 0) + cancelled
+            )
+            current_tracer().record("governance", 0.0, {"cancelled_chunks": cancelled})
+            raise
         finally:
             self._shutdown_pool(pool, force=abandoned or not completed)
         assert all(outcome is not None for outcome in results)
@@ -449,17 +493,34 @@ class ShardedJoin(BaseExecutor):
     ) -> None:
         """Submit one attempt for ``task`` and start its timeout clock."""
         task.attempts += 1
-        future = pool.submit(_join_shard, self._payload(task))
+        policy = current_policy()
+        if policy is not None:
+            policy = policy.worker_policy()
+        future = pool.submit(_join_shard, self._payload(task, policy))
         if self.timeout_seconds is not None:
             task.deadline = monotonic() + self.timeout_seconds
         pending[future] = task
 
     def _wait_round(self, pending: dict[Future, _ShardTask]) -> set[Future]:
-        """Block until a future completes or the nearest deadline passes."""
+        """Block until a future completes or the nearest bound passes.
+
+        As in the resilient executor, the wait is capped by the active
+        governance policy (deadline remaining; 50ms when a cancel token
+        is armed) so the blocked parent wakes to poll.
+        """
         wait_timeout: float | None = None
         if self.timeout_seconds is not None:
             nearest = min(task.deadline for task in pending.values() if task.deadline)
             wait_timeout = max(0.0, nearest - monotonic())
+        policy = current_policy()
+        if policy is not None:
+            if policy.cancel is not None:
+                wait_timeout = 0.05 if wait_timeout is None else min(wait_timeout, 0.05)
+            if policy.deadline is not None:
+                remaining = max(0.0, policy.deadline.remaining())
+                wait_timeout = (
+                    remaining if wait_timeout is None else min(wait_timeout, remaining)
+                )
         done, _ = wait(set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED)
         return done
 
@@ -557,6 +618,7 @@ class ShardedJoin(BaseExecutor):
             self.algorithm_kwargs,
             task.s_part,
             task.probes,
+            None,
             None,
         )
         return _join_shard(payload)

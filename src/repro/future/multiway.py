@@ -21,6 +21,7 @@ from typing import Any, Iterator
 from repro.core.base import CandidateGroup, JoinStats
 from repro.core.framework import SignatureJoinBase, insert_into_groups
 from repro.errors import TrieError
+from repro.governance.policy import governor
 from repro.relations.relation import Relation
 from repro.signatures.bitmap import validate_signature
 
@@ -164,11 +165,16 @@ class MWTSJ(SignatureJoinBase):
         assert self.scheme is not None
         trie = MultiwayTrie(self.scheme.bits)
         signature = self.scheme.signature
+        gov = governor("build", stats)
         if self.merge_identical:
             for rec in s:
+                if gov is not None:
+                    gov.tick()
                 insert_into_groups(trie.insert(signature(rec.elements)), rec)
         else:
             for rec in s:
+                if gov is not None:
+                    gov.tick()
                 trie.insert(signature(rec.elements)).append(
                     CandidateGroup(rec.elements, rec.rid)
                 )

@@ -26,6 +26,7 @@ from typing import Any, Iterator
 
 from repro.core.base import JoinStats, PreparedIndex, SetContainmentJoin
 from repro.core.framework import insert_into_groups
+from repro.governance.policy import governor
 from repro.obs.tracer import current_tracer
 from repro.relations.relation import Relation, SetRecord
 from repro.signatures.hashing import ModuloScheme, SignatureScheme
@@ -51,7 +52,10 @@ class TrieTriePreparedIndex(PreparedIndex):
     def _build_probe_trie(self, r: Relation) -> BinaryTrie:
         r_trie = BinaryTrie(self.scheme.bits)
         signature = self.scheme.signature
+        gov = governor("probe")
         for rec in r:
+            if gov is not None:
+                gov.tick()
             insert_into_groups(r_trie.insert(signature(rec.elements)), rec)
         return r_trie
 
@@ -82,10 +86,13 @@ class TrieTriePreparedIndex(PreparedIndex):
         pairs: list[tuple[int, int]] = []
         visits = 0
         with tracer.span("traverse"):
+            gov = governor("probe", stats)
             stack: list[tuple[BinaryTrieNode, BinaryTrieNode]] = [
                 (r_trie.root, self.s_trie.root)
             ]
             while stack:
+                if gov is not None:
+                    gov.tick()
                 r_node, s_node = stack.pop()
                 visits += 1
                 if r_node.items is not None:
@@ -160,7 +167,10 @@ class TrieTrieJoin(SetContainmentJoin):
         self.scheme = self.scheme_factory(bits)
         signature = self.scheme.signature
         s_trie = BinaryTrie(bits)
+        gov = governor("build")
         for rec in s:
+            if gov is not None:
+                gov.tick()
             insert_into_groups(s_trie.insert(signature(rec.elements)), rec)
         self.s_trie = s_trie
         index = TrieTriePreparedIndex(self.scheme, s_trie, s)

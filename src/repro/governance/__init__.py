@@ -1,0 +1,45 @@
+"""Resource governance: deadlines, cooperative cancellation, byte budgets.
+
+The admission-control substrate for the join stack (ISSUE 7): every
+build and probe loop in the registry algorithms and every executor polls
+an ambient :class:`GovernancePolicy` at bounded intervals, so a join can
+be bounded end to end — whole-join deadline, cooperative cancel, and an
+index-build memory budget that the resilient executor turns into
+degradation rather than failure.
+
+Usage::
+
+    from repro.governance import Deadline, GovernancePolicy, govern
+
+    policy = GovernancePolicy(deadline=Deadline.after(30.0))
+    with govern(policy):
+        result = set_containment_join("ptsj", r, s)
+
+See ``docs/ROBUSTNESS.md`` for semantics and the degradation ladder.
+"""
+
+from repro.governance.deadline import CancelToken, Deadline
+from repro.governance.memory import default_sampler, traced_build
+from repro.governance.policy import (
+    DEFAULT_POLL_INTERVAL,
+    GovernancePolicy,
+    Governor,
+    current_policy,
+    govern,
+    governor,
+    set_policy,
+)
+
+__all__ = [
+    "DEFAULT_POLL_INTERVAL",
+    "CancelToken",
+    "Deadline",
+    "GovernancePolicy",
+    "Governor",
+    "current_policy",
+    "default_sampler",
+    "govern",
+    "governor",
+    "set_policy",
+    "traced_build",
+]

@@ -1,0 +1,124 @@
+"""Whole-join deadlines and cooperative cancellation primitives.
+
+A service cannot admit a request it can't bound.  This module supplies
+the two bounds a caller can put on a join as a whole:
+
+* :class:`Deadline` — an *absolute* instant on the monotonic clock
+  (:mod:`repro.obs.clock`), constructed from a relative budget via
+  :meth:`Deadline.after`.  Absolute, because a deadline that is re-derived
+  per phase silently stretches; every executor, worker and retry round
+  compares against the same instant.  ``remaining()``/``expired()`` are a
+  subtraction and a comparison — cheap enough for poll loops.
+* :class:`CancelToken` — a cooperative flag the owner trips with
+  :meth:`~CancelToken.cancel` and governed loops observe at poll points.
+  Tokens are picklable and can be backed by a flag *file* so a cancel
+  issued in the parent is seen by pool workers under both ``fork`` and
+  ``spawn`` (the same cross-process idiom as
+  :class:`repro.testing.faults.FaultTrigger`).
+
+Neither primitive interrupts anything by itself: enforcement happens in
+:mod:`repro.governance.policy`, which raises the typed errors from
+:mod:`repro.errors` at the next poll.
+
+Both carry an optional ``clock`` seam (any picklable ``() -> float``
+monotonic reading) so the fault harness can skew time deterministically;
+production code leaves it ``None`` and reads the one clock.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.options import validate_deadline_seconds
+from repro.errors import AlgorithmError
+from repro.obs.clock import monotonic
+
+__all__ = ["CancelToken", "Deadline"]
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute whole-join time bound on the monotonic clock.
+
+    Attributes:
+        at: Absolute monotonic instant after which the join is overdue.
+        seconds: The original relative budget (kept for error messages).
+        clock: Optional monotonic-clock override (test seam, picklable).
+    """
+
+    at: float
+    seconds: float
+    clock: Callable[[], float] | None = None
+
+    @classmethod
+    def after(cls, seconds: float, clock: Callable[[], float] | None = None) -> "Deadline":
+        """A deadline ``seconds`` from now; rejects non-positive budgets."""
+        if seconds is None:
+            raise AlgorithmError("Deadline.after requires a positive budget, got None")
+        validate_deadline_seconds(seconds)
+        now = (clock or monotonic)()
+        return cls(at=now + seconds, seconds=float(seconds), clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds until the deadline; negative once it has passed."""
+        return self.at - (self.clock or monotonic)()
+
+    def expired(self) -> bool:
+        """Whether the deadline has passed."""
+        return self.remaining() <= 0.0
+
+
+class CancelToken:
+    """Cooperative, picklable cancellation flag.
+
+    Three ways the token can read as cancelled, checked in order of cost:
+
+    1. The in-process flag set by :meth:`cancel`.
+    2. An auto-cancel instant (``cancel_at``, absolute monotonic) — how
+       the CLI's ``--cancel-after`` trips a join from within.
+    3. A flag file under ``flag_dir`` — its *existence* is the signal, so
+       a cancel issued in the parent process is observed by pool workers
+       under both start methods without shared memory.
+
+    A token without a ``flag_dir`` still works in-process and still
+    pickles; the worker copy simply cannot observe a later parent-side
+    :meth:`cancel` (the auto-cancel instant still travels).
+    """
+
+    def __init__(
+        self,
+        flag_dir: str | os.PathLike[str] | None = None,
+        name: str = "cancel",
+        cancel_at: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self._flag = None if flag_dir is None else os.path.join(str(flag_dir), f"{name}.cancelled")
+        self._cancelled = False
+        self.reason = ""
+        self.cancel_at = cancel_at
+        self._clock = clock
+
+    def cancel(self, reason: str = "cancel requested") -> None:
+        """Trip the token; idempotent, keeps the first reason."""
+        if not self._cancelled:
+            self._cancelled = True
+            self.reason = reason
+        if self._flag is not None and not os.path.exists(self._flag):
+            with open(self._flag, "w", encoding="utf-8") as fh:
+                fh.write(self.reason)
+
+    def cancelled(self) -> bool:
+        """Whether the token has been tripped (here or in another process)."""
+        if self._cancelled:
+            return True
+        if self.cancel_at is not None and (self._clock or monotonic)() >= self.cancel_at:
+            self._cancelled = True
+            self.reason = "cancel_after budget elapsed"
+            return True
+        if self._flag is not None and os.path.exists(self._flag):
+            self._cancelled = True
+            self.reason = "cancelled by peer process"
+            return True
+        return False

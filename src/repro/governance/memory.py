@@ -1,0 +1,74 @@
+"""Byte-budget sampling for index builds, backed by ``tracemalloc``.
+
+The memory governor needs a cheap-enough answer to "how many bytes has
+this build allocated so far?" at every poll point.  ``tracemalloc`` gives
+exactly that — current traced size, per process, no polling thread — at
+the cost of slower allocations while tracing.  That cost is acceptable
+because tracing is armed *only* for builds that actually carry a
+``memory_budget_bytes``; an ungoverned build never starts it.
+
+:func:`traced_build` owns the lifecycle: it starts tracing only if the
+policy budgets memory with the default sampler and nothing else is
+already tracing, and it stops only what it started, so user-level
+``tracemalloc`` sessions (or an outer governed build) are never clobbered.
+
+It also records the *build base* — one byte reading taken at scope entry
+— which every governor created inside the scope shares
+(:func:`build_base`).  A single base keeps the loop governor and the
+build-boundary governor measuring the same delta, and keeps scripted
+test samplers deterministic: exactly one base reading per build, however
+many governors the build creates.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.governance.policy import GovernancePolicy
+
+__all__ = ["build_base", "default_sampler", "traced_build"]
+
+
+def default_sampler() -> int:
+    """Bytes currently attributed to this process by ``tracemalloc``.
+
+    Returns 0 when tracing is off — a budget checked against an unarmed
+    sampler never trips, which is the safe direction.
+    """
+    return tracemalloc.get_traced_memory()[0]
+
+
+# The byte reading taken at traced_build entry, shared by every governor
+# the scope creates.  Plain module state, like the ambient policy:
+# workers are processes, not threads.
+_BUILD_BASE: Optional[int] = None
+
+
+def build_base() -> int | None:
+    """The ambient build-scope base reading, or ``None`` outside a scope."""
+    return _BUILD_BASE
+
+
+@contextmanager
+def traced_build(policy: "GovernancePolicy | None") -> Iterator[None]:
+    """Arm ``tracemalloc`` around an index build when the policy needs it."""
+    global _BUILD_BASE
+    if policy is None or policy.memory_budget_bytes is None:
+        yield
+        return
+    sampler = policy.memory_sampler  # a custom sampler brings its own source
+    started = False
+    if sampler is None and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        started = True
+    previous = _BUILD_BASE
+    _BUILD_BASE = (sampler or default_sampler)()
+    try:
+        yield
+    finally:
+        _BUILD_BASE = previous
+        if started:
+            tracemalloc.stop()

@@ -72,6 +72,7 @@ PHASES = (
     "retry",
     "timeout",
     "fallback",
+    "governance",
 )
 
 

@@ -15,7 +15,7 @@ The registry's :func:`~repro.core.registry.set_containment_join` and
 package; see ``docs/PLANNER.md`` for the decision table and cost model.
 """
 
-from repro.planner.executor import execute_plan, prepare_from_plan
+from repro.planner.executor import execute_plan, policy_from_workload, prepare_from_plan
 from repro.planner.plan import (
     EXECUTORS,
     JOIN_VARIANTS,
@@ -50,5 +50,6 @@ __all__ = [
     "cost_profile",
     "estimate_cost",
     "execute_plan",
+    "policy_from_workload",
     "prepare_from_plan",
 ]

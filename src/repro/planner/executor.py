@@ -22,14 +22,44 @@ from __future__ import annotations
 
 from repro.analysis.sanitizer import maybe_check_plan
 from repro.core.base import JoinResult, PreparedIndex
+from repro.errors import DeadlineExceededError
+from repro.governance.deadline import Deadline
+from repro.governance.policy import GovernancePolicy, current_policy, govern
 from repro.planner.plan import Plan
 from repro.relations.relation import Relation
 
-__all__ = ["execute_plan", "prepare_from_plan"]
+__all__ = ["execute_plan", "prepare_from_plan", "policy_from_workload"]
+
+
+def policy_from_workload(plan: Plan) -> GovernancePolicy | None:
+    """The governance policy a plan's workload hints describe, or ``None``.
+
+    The deadline clock starts *here* — at execution, not at plan time —
+    so a plan can be built, serialized and executed later without the
+    elapsed interval counting against its budget.
+    """
+    workload = plan.workload
+    if workload.deadline_seconds is None and workload.max_memory_bytes is None:
+        return None
+    deadline = (
+        Deadline.after(workload.deadline_seconds)
+        if workload.deadline_seconds is not None
+        else None
+    )
+    return GovernancePolicy(
+        deadline=deadline, memory_budget_bytes=workload.max_memory_bytes
+    )
 
 
 def execute_plan(plan: Plan, r: Relation, s: Relation) -> JoinResult:
     """Run ``plan`` against concrete relations.
+
+    A plan whose governance decision screened it infeasible (model
+    estimate exceeds the workload deadline) is refused outright.  When
+    the workload carries governance hints (``deadline_seconds``,
+    ``max_memory_bytes``) and no policy is already active, one is
+    installed for the duration of the join so every executor's loops
+    poll; an ambient policy installed by the caller always wins.
 
     Args:
         plan: A plan from :class:`repro.planner.Planner` (or deserialized
@@ -41,11 +71,24 @@ def execute_plan(plan: Plan, r: Relation, s: Relation) -> JoinResult:
         PlanError: If the plan names an executor this build cannot run
             (only possible for hand-built plans; ``Plan.__post_init__``
             validates planner output).
+        DeadlineExceededError: If the plan was screened infeasible for
+            its own deadline at plan time.
     """
     maybe_check_plan(plan)
+    governance = plan.decision("governance")
+    if governance is not None and not governance.detail_dict().get("feasible", True):
+        raise DeadlineExceededError(
+            f"plan refused before execution: {governance.reason}"
+        )
     from repro.exec import executor_class
 
-    return executor_class(plan.executor).from_plan(plan).join(r, s)
+    executor = executor_class(plan.executor).from_plan(plan)
+    if current_policy() is None:
+        policy = policy_from_workload(plan)
+        if policy is not None:
+            with govern(policy):
+                return executor.join(r, s)
+    return executor.join(r, s)
 
 
 def prepare_from_plan(

@@ -65,6 +65,16 @@ class Workload:
             ``None`` (default) lets the planner decide whether sharding
             pays off at all.  Setting it selects the sharded executor for
             one-shot workloads.
+        deadline_seconds: Whole-join wall-clock bound.  The planner
+            rejects plans whose cost estimate cannot finish inside it
+            (EXPLAIN-visible), and ``execute_plan`` derives a
+            :class:`~repro.governance.Deadline` from it so every
+            build/probe loop polls.  Distinct from the executors'
+            per-chunk ``timeout_seconds`` — see ``docs/ROBUSTNESS.md``.
+        max_memory_bytes: Index-build memory budget in bytes, enforced by
+            the tracemalloc-backed governor; a breach raises
+            :class:`~repro.errors.BudgetExceededError` (or degrades, on
+            the resilient path).
     """
 
     mode: str = "oneshot"
@@ -74,9 +84,13 @@ class Workload:
     fault_tolerance: bool = False
     variant: str = "containment"
     shards: int | None = None
+    deadline_seconds: float | None = None
+    max_memory_bytes: int | None = None
 
     def __post_init__(self) -> None:
         from repro.core.options import (
+            validate_deadline_seconds,
+            validate_max_memory_bytes,
             validate_max_tuples,
             validate_probe_batches,
             validate_shards,
@@ -92,6 +106,8 @@ class Workload:
         validate_shards(self.shards)
         if self.memory_budget_tuples is not None:
             validate_max_tuples(self.memory_budget_tuples)
+        validate_deadline_seconds(self.deadline_seconds)
+        validate_max_memory_bytes(self.max_memory_bytes)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -102,6 +118,8 @@ class Workload:
             "fault_tolerance": self.fault_tolerance,
             "variant": self.variant,
             "shards": self.shards,
+            "deadline_seconds": self.deadline_seconds,
+            "max_memory_bytes": self.max_memory_bytes,
         }
 
     @classmethod

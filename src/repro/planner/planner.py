@@ -48,6 +48,15 @@ AUTO_CANDIDATES = ("ptsj", "pretti+")
 #: The Sec. V-C3 regime boundary on the *median* set cardinality.
 REGIME_MEDIAN_CARDINALITY = 32
 
+#: Deliberately pessimistic calibration of cost-model units to wall time,
+#: used only for deadline-feasibility screening: one model unit is one
+#: expected elementary operation, and pure-Python traversal sustains on
+#: the order of a few million of them per second.  Underestimating the
+#: throughput makes the planner reject only plans that are hopeless by a
+#: wide margin — runtime enforcement (the governor's polls) remains the
+#: authoritative bound.
+MODEL_UNITS_PER_SECOND = 1e6
+
 _EMPTY_STATS = RelationStats(0, 0.0, 0.0, 0, 0, 0, 0, 0)
 
 
@@ -122,6 +131,8 @@ class Planner:
                 effective_r, s_stats, workload, executor
             )
             decisions.append(chunk_decision)
+            if workload.deadline_seconds is not None:
+                decisions.append(self._decide_governance(workload, chosen_cost))
             executor_options.update(chunk_options)
             plan = Plan(
                 algorithm=chosen,
@@ -545,6 +556,64 @@ class Planner:
             ),
             "inline",
             {},
+        )
+
+    # ------------------------------------------------------------------
+    # Decision: governance (only when a deadline is set)
+    # ------------------------------------------------------------------
+    def _decide_governance(
+        self, workload: Workload, cost: CostEstimate | None
+    ) -> Decision:
+        """Deadline-feasibility screening for the whole plan.
+
+        The chosen algorithm's model-unit cost, converted through the
+        deliberately pessimistic :data:`MODEL_UNITS_PER_SECOND`
+        calibration, is compared against the workload deadline; a plan
+        whose *estimate* already cannot finish is marked infeasible, and
+        :func:`~repro.planner.executor.execute_plan` refuses to start it
+        (failing in microseconds instead of at the deadline).  The reason
+        is EXPLAIN-visible either way.
+        """
+        deadline = workload.deadline_seconds
+        assert deadline is not None
+        estimated = cost.total / MODEL_UNITS_PER_SECOND if cost is not None else None
+        feasible = estimated is None or estimated <= deadline
+        detail: list[tuple[str, object]] = [
+            ("deadline_seconds", deadline),
+            ("feasible", feasible),
+        ]
+        if estimated is not None:
+            detail.append(("estimated_seconds", round(estimated, 6)))
+            detail.append(("model_units_per_second", MODEL_UNITS_PER_SECOND))
+        if workload.max_memory_bytes is not None:
+            detail.append(("max_memory_bytes", workload.max_memory_bytes))
+        if not feasible:
+            reason = (
+                f"infeasible: the model estimates ~{estimated:.3g}s of work "
+                f"(at a pessimistic {MODEL_UNITS_PER_SECOND:g} units/s) "
+                f"against a {deadline:g}s deadline; execute_plan will refuse "
+                "to start this plan"
+            )
+            choice = "infeasible"
+        elif estimated is None:
+            reason = (
+                f"{deadline:g}s deadline enforced at runtime only: no cost "
+                "model for the chosen algorithm, so feasibility cannot be "
+                "pre-screened"
+            )
+            choice = f"deadline {deadline:g}s"
+        else:
+            reason = (
+                f"model estimate ~{estimated:.3g}s fits the {deadline:g}s "
+                "deadline; runtime polls remain the authoritative bound"
+            )
+            choice = f"deadline {deadline:g}s"
+        return Decision(
+            name="governance",
+            choice=choice,
+            reason=reason,
+            cost=cost,
+            detail=tuple(detail),
         )
 
     # ------------------------------------------------------------------

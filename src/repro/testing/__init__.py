@@ -9,11 +9,14 @@ can be exercised without flaky timing or randomness.
 
 from repro.testing.faults import (
     CorruptingIndex,
+    CountdownCancelToken,
     CrashingIndex,
     DyingIndex,
     FaultTrigger,
     FaultyIndex,
+    SkewedClock,
     SleepingIndex,
+    SteppingSampler,
 )
 
 __all__ = [
@@ -23,4 +26,7 @@ __all__ = [
     "DyingIndex",
     "SleepingIndex",
     "CorruptingIndex",
+    "SkewedClock",
+    "CountdownCancelToken",
+    "SteppingSampler",
 ]

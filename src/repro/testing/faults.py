@@ -45,6 +45,9 @@ __all__ = [
     "DyingIndex",
     "SleepingIndex",
     "CorruptingIndex",
+    "SkewedClock",
+    "CountdownCancelToken",
+    "SteppingSampler",
 ]
 
 
@@ -242,3 +245,93 @@ class CorruptingIndex(FaultyIndex):
         if self.trigger.fire():
             result.pairs.append((self.alien_id, self.alien_id))
         return result
+
+
+# ----------------------------------------------------------------------
+# Governance fault hooks (docs/ROBUSTNESS.md, chaos drills)
+# ----------------------------------------------------------------------
+class SkewedClock:
+    """A monotonic clock reading ``offset_seconds`` into the future.
+
+    Deterministic clock skew for :class:`~repro.governance.deadline.
+    Deadline`: a deadline evaluated against a clock skewed past it is
+    *already expired*, so drills can prove expiry handling without
+    sleeping.  Instances hold only a float and are picklable, so a
+    skewed deadline travels into pool workers under both ``fork`` and
+    ``spawn``.
+    """
+
+    def __init__(self, offset_seconds: float) -> None:
+        self.offset_seconds = offset_seconds
+
+    def __call__(self) -> float:
+        from repro.obs.clock import monotonic
+
+        return monotonic() + self.offset_seconds
+
+
+class CountdownCancelToken:
+    """A :class:`~repro.governance.deadline.CancelToken` tripping itself.
+
+    Reports cancelled once it has been *asked* ``after_checks`` times —
+    a deterministic stand-in for "the user hits Ctrl-C mid-build" that
+    needs no timing, no threads and no signals.  The check count is
+    per-process state (it does not travel through pickle), so a token
+    armed with ``after_checks=N`` trips on the N-th poll of whichever
+    process is asking; combine with ``flag_dir`` to make the trip
+    visible across processes.
+    """
+
+    def __init__(
+        self,
+        after_checks: int,
+        flag_dir: str | Path | None = None,
+        name: str = "countdown",
+    ) -> None:
+        from repro.governance.deadline import CancelToken
+
+        self._base = CancelToken(flag_dir=flag_dir, name=name)
+        self.after_checks = after_checks
+        self.checks = 0
+
+    @property
+    def reason(self) -> str | None:
+        return self._base.reason
+
+    def cancel(self, reason: str = "cancel requested") -> None:
+        self._base.cancel(reason)
+
+    def cancelled(self) -> bool:
+        self.checks += 1
+        if self.checks >= self.after_checks and not self._base.cancelled():
+            self._base.cancel(f"countdown tripped after {self.checks} checks")
+        return self._base.cancelled()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["checks"] = 0  # per-process countdown
+        return state
+
+
+class SteppingSampler:
+    """A scripted memory sampler: returns each reading in turn.
+
+    Replaces the tracemalloc default through
+    ``GovernancePolicy(memory_sampler=...)`` so budget-trip drills are
+    exact: the governor's base sample consumes the first reading, each
+    poll consumes the next, and the final reading repeats forever.
+    Intentionally *not* shipped to workers
+    (:meth:`~repro.governance.policy.GovernancePolicy.worker_policy`
+    strips custom samplers), so use it for parent-side build paths.
+    """
+
+    def __init__(self, readings: tuple[int, ...] | list[int]) -> None:
+        if not readings:
+            raise ValueError("SteppingSampler needs at least one reading")
+        self.readings = tuple(int(b) for b in readings)
+        self.calls = 0
+
+    def __call__(self) -> int:
+        reading = self.readings[min(self.calls, len(self.readings) - 1)]
+        self.calls += 1
+        return reading

@@ -1,0 +1,21 @@
+"""RPR009 fixture (bad): relation-sized loops that never poll governance."""
+
+
+def build_index(s, trie, signature):
+    for rec in s:
+        trie.insert(signature(rec.elements))
+
+
+def scan_records(relation, out):
+    for rec in relation.records:
+        out.append(rec.rid)
+
+
+def traverse(root):
+    visits = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        visits += 1
+        stack.extend(node.children)
+    return visits

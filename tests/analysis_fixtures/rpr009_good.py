@@ -1,0 +1,42 @@
+"""RPR009 fixture (good): governed loops, a waiver, and an exempt comprehension."""
+
+from repro.governance.policy import governor
+
+
+def build_index(s, trie, signature, stats):
+    gov = governor("build", stats)
+    for rec in s:
+        if gov is not None:
+            gov.tick()
+        trie.insert(signature(rec.elements))
+
+
+def scan_records(relation, out):
+    gov = governor("probe")
+    for rec in relation.records:
+        if gov is not None:
+            gov.tick()
+        out.append(rec.rid)
+
+
+def traverse(root, stats):
+    visits = 0
+    gov = governor("probe", stats)
+    stack = [root]
+    while stack:
+        if gov is not None:
+            gov.tick()
+        node = stack.pop()
+        visits += 1
+        stack.extend(node.children)
+    return visits
+
+
+def head(s):
+    for rec in s:  # repro: noqa RPR009 bounded: returns after the first record
+        return rec
+    return None
+
+
+def cardinalities(s):
+    return [rec.cardinality for rec in s]

@@ -38,6 +38,7 @@ RULE_FIXTURES = {
     "RPR006": ("rpr006", "repro.core.fixture", 3),
     "RPR007": ("rpr007", "repro.core.fixture", 3),
     "RPR008": ("rpr008", "repro.core.fixture", 1),
+    "RPR009": ("rpr009", "repro.core.fixture", 3),
 }
 
 

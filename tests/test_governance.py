@@ -1,0 +1,514 @@
+"""Unit tests for the governance subsystem (:mod:`repro.governance`).
+
+Primitives first — :class:`Deadline`, :class:`CancelToken`, the policy
+and its ambient installation, the :class:`Governor` poll loop with the
+deterministic fault hooks from :mod:`repro.testing.faults` — then the
+integration seams: option validators, the inline executor's rejection of
+pooled-only bounds, the planner's deadline-feasibility decision, and
+``execute_plan``'s refusal/ambient-install behavior.  Cross-process
+drills (pools, fork/spawn, spill files) live in
+``tests/test_governance_drills.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.options import (
+    validate_deadline_seconds,
+    validate_max_memory_bytes,
+)
+from repro.errors import (
+    AlgorithmError,
+    BudgetExceededError,
+    CancelledError,
+    DeadlineExceededError,
+    GovernanceError,
+    ReproError,
+)
+from repro.governance import (
+    CancelToken,
+    Deadline,
+    GovernancePolicy,
+    Governor,
+    current_policy,
+    govern,
+    governor,
+    set_policy,
+)
+from repro.governance.memory import default_sampler, traced_build
+from repro.testing.faults import CountdownCancelToken, SkewedClock, SteppingSampler
+
+from .conftest import random_relation
+
+
+def expired_deadline(seconds: float = 1.0) -> Deadline:
+    """A deadline that is already overdue, without any sleeping.
+
+    ``Deadline.after(s, clock=skewed)`` would *not* be expired — the skew
+    cancels because "now" and ``at`` come from the same clock — so the
+    drills anchor ``at`` on the real clock and evaluate on a skewed one.
+    """
+    real = Deadline.after(seconds)
+    return Deadline(at=real.at, seconds=real.seconds,
+                    clock=SkewedClock(seconds + 5.0))
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_policy():
+    """Every test starts and ends ungoverned."""
+    assert current_policy() is None
+    yield
+    set_policy(None)
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_after_sets_an_absolute_instant(self):
+        deadline = Deadline.after(60.0)
+        assert deadline.seconds == 60.0
+        assert 0.0 < deadline.remaining() <= 60.0
+        assert not deadline.expired()
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_non_positive_budgets(self, bad):
+        with pytest.raises(AlgorithmError):
+            Deadline.after(bad)
+
+    def test_rejects_none_budget(self):
+        with pytest.raises(AlgorithmError):
+            Deadline.after(None)
+
+    def test_skewed_clock_expires_without_sleeping(self):
+        # Build against the real clock, evaluate against one skewed past
+        # the deadline: remaining() goes negative with zero wall time.
+        real = Deadline.after(5.0)
+        skewed = Deadline(at=real.at, seconds=real.seconds, clock=SkewedClock(10.0))
+        assert skewed.expired()
+        assert skewed.remaining() < 0.0
+
+    def test_pickles_with_clock_seam(self):
+        deadline = expired_deadline(5.0)
+        revived = pickle.loads(pickle.dumps(deadline))
+        assert revived.at == deadline.at
+        assert revived.seconds == deadline.seconds
+        assert revived.clock.offset_seconds == deadline.clock.offset_seconds
+        assert revived.expired()
+
+
+# ----------------------------------------------------------------------
+# CancelToken
+# ----------------------------------------------------------------------
+class TestCancelToken:
+    def test_cancel_is_idempotent_and_keeps_first_reason(self):
+        token = CancelToken()
+        assert not token.cancelled()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.cancelled()
+        assert token.reason == "first"
+
+    def test_cancel_at_auto_trips(self):
+        # cancel_at in the past (skewed clock) trips on the first check.
+        token = CancelToken(cancel_at=1.0, clock=SkewedClock(1e9))
+        assert token.cancelled()
+        assert token.reason == "cancel_after budget elapsed"
+
+    def test_cancel_at_in_the_future_does_not_trip(self):
+        token = CancelToken(cancel_at=Deadline.after(3600.0).at)
+        assert not token.cancelled()
+
+    def test_flag_file_is_seen_by_a_peer_token(self, tmp_path):
+        owner = CancelToken(flag_dir=tmp_path, name="drill")
+        peer = CancelToken(flag_dir=tmp_path, name="drill")
+        assert not peer.cancelled()
+        owner.cancel("parent says stop")
+        assert peer.cancelled()
+        assert peer.reason == "cancelled by peer process"
+
+    def test_pickle_roundtrip_preserves_flag_and_instant(self, tmp_path):
+        token = CancelToken(flag_dir=tmp_path, name="drill", cancel_at=1e18)
+        revived = pickle.loads(pickle.dumps(token))
+        assert not revived.cancelled()
+        token.cancel("after pickling")
+        # The revived copy observes the original's cancel via the flag file.
+        assert revived.cancelled()
+
+    def test_countdown_token_trips_after_n_checks(self):
+        token = CountdownCancelToken(after_checks=3)
+        assert [token.cancelled() for _ in range(4)] == [False, False, True, True]
+        assert "countdown tripped" in token.reason
+
+    def test_countdown_resets_per_process(self):
+        token = CountdownCancelToken(after_checks=2)
+        assert not token.cancelled()
+        revived = pickle.loads(pickle.dumps(token))
+        assert revived.checks == 0
+
+
+# ----------------------------------------------------------------------
+# GovernancePolicy and the ambient slot
+# ----------------------------------------------------------------------
+class TestPolicy:
+    def test_inactive_without_any_bound(self):
+        assert not GovernancePolicy().active
+        assert GovernancePolicy(deadline=Deadline.after(1.0)).active
+        assert GovernancePolicy(cancel=CancelToken()).active
+        assert GovernancePolicy(memory_budget_bytes=1).active
+
+    @pytest.mark.parametrize("bad", [dict(memory_budget_bytes=0),
+                                     dict(memory_budget_bytes=-5),
+                                     dict(poll_interval=0),
+                                     dict(poll_interval=-1)])
+    def test_invalid_configuration(self, bad):
+        with pytest.raises(AlgorithmError):
+            GovernancePolicy(**bad)
+
+    def test_worker_policy_strips_custom_sampler(self):
+        policy = GovernancePolicy(
+            deadline=Deadline.after(9.0),
+            memory_budget_bytes=100,
+            memory_sampler=SteppingSampler([0]),
+        )
+        shipped = policy.worker_policy()
+        assert shipped.memory_sampler is None
+        assert shipped.deadline == policy.deadline
+        assert shipped.memory_budget_bytes == 100
+        # Without a custom sampler the policy ships as-is.
+        plain = GovernancePolicy(deadline=Deadline.after(9.0))
+        assert plain.worker_policy() is plain
+
+    def test_govern_scopes_and_restores(self):
+        outer = GovernancePolicy(memory_budget_bytes=1)
+        inner = GovernancePolicy(memory_budget_bytes=2)
+        with govern(outer):
+            assert current_policy() is outer
+            with govern(inner):
+                assert current_policy() is inner
+            assert current_policy() is outer
+        assert current_policy() is None
+
+    def test_govern_restores_after_an_exception(self):
+        with pytest.raises(RuntimeError):
+            with govern(GovernancePolicy(memory_budget_bytes=1)):
+                raise RuntimeError("boom")
+        assert current_policy() is None
+
+    def test_govern_accepts_none(self):
+        with govern(None):
+            assert current_policy() is None
+
+    def test_set_policy_returns_previous(self):
+        policy = GovernancePolicy()
+        assert set_policy(policy) is None
+        assert set_policy(None) is policy
+
+    def test_governor_is_none_when_ungoverned_or_inactive(self):
+        assert governor("build") is None
+        with govern(GovernancePolicy()):  # no bound set
+            assert governor("build") is None
+        with govern(GovernancePolicy(memory_budget_bytes=1)):
+            assert governor("build") is not None
+
+
+# ----------------------------------------------------------------------
+# Governor polls
+# ----------------------------------------------------------------------
+class TestGovernor:
+    def test_tick_polls_every_interval_and_counts(self):
+        from repro.core.base import JoinStats
+
+        stats = JoinStats()
+        policy = GovernancePolicy(deadline=Deadline.after(3600.0), poll_interval=4)
+        gov = Governor(policy, "probe", stats)
+        for _ in range(12):
+            gov.tick()
+        assert gov.ticks == 12
+        # The first tick polls (small inputs must observe their bounds),
+        # then every poll_interval: ticks 1, 5 and 9.
+        assert stats.extras["deadline_polls"] == 3
+
+    def test_expired_deadline_raises_on_poll(self):
+        gov = Governor(GovernancePolicy(deadline=expired_deadline()), "build", None)
+        with pytest.raises(DeadlineExceededError, match="during build"):
+            gov.poll()
+
+    def test_tripped_token_raises_with_reason(self):
+        token = CancelToken()
+        token.cancel("operator abort")
+        gov = Governor(GovernancePolicy(cancel=token), "probe", None)
+        with pytest.raises(CancelledError, match="operator abort"):
+            gov.poll()
+
+    def test_countdown_token_trips_within_one_interval(self):
+        policy = GovernancePolicy(cancel=CountdownCancelToken(after_checks=3),
+                                  poll_interval=2)
+        gov = Governor(policy, "build", None)
+        with pytest.raises(CancelledError, match="countdown tripped"):
+            for _ in range(8):
+                gov.tick()
+        # Polls land on ticks 1, 3 and 5 (first tick always polls); the
+        # third check trips the countdown — within one poll interval.
+        assert gov.ticks == 5
+
+    def test_budget_breach_carries_partial_accounting(self):
+        sampler = SteppingSampler([1000, 1600, 2720])  # base, ok, breach
+        policy = GovernancePolicy(memory_budget_bytes=1024, poll_interval=8,
+                                  memory_sampler=sampler)
+        gov = Governor(policy, "build", None)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            for _ in range(100):
+                gov.tick()
+        breach = excinfo.value
+        assert breach.budget_bytes == 1024
+        assert breach.used_bytes == 2720 - 1000
+        # Polls at ticks 1 (1600, within budget) and 9 (2720, breach).
+        assert breach.records_indexed == 9
+
+    def test_budget_exceeded_pickles_with_accounting(self):
+        err = BudgetExceededError("x", budget_bytes=7, used_bytes=9, records_indexed=3)
+        revived = pickle.loads(pickle.dumps(err))
+        assert (revived.budget_bytes, revived.used_bytes, revived.records_indexed) \
+            == (7, 9, 3)
+
+    def test_memory_sampler_armed_only_for_build(self):
+        sampler = SteppingSampler([0, 10**9])
+        policy = GovernancePolicy(memory_budget_bytes=1, memory_sampler=sampler,
+                                  poll_interval=1)
+        probe_gov = Governor(policy, "probe", None)
+        probe_gov.tick()  # polls, but never samples memory
+        assert sampler.calls == 0
+
+    def test_error_taxonomy(self):
+        for exc in (DeadlineExceededError, CancelledError, BudgetExceededError):
+            assert issubclass(exc, GovernanceError)
+        assert issubclass(GovernanceError, ReproError)
+
+
+# ----------------------------------------------------------------------
+# tracemalloc lifecycle
+# ----------------------------------------------------------------------
+class TestTracedBuild:
+    def test_arms_only_for_a_default_sampler_budget(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        with traced_build(GovernancePolicy(memory_budget_bytes=1 << 20)):
+            assert tracemalloc.is_tracing()
+            assert default_sampler() >= 0
+        assert not tracemalloc.is_tracing()
+
+    def test_stays_cold_without_a_budget_or_with_a_custom_sampler(self):
+        import tracemalloc
+
+        with traced_build(None):
+            assert not tracemalloc.is_tracing()
+        with traced_build(GovernancePolicy(deadline=Deadline.after(1.0))):
+            assert not tracemalloc.is_tracing()
+        custom = GovernancePolicy(memory_budget_bytes=1,
+                                  memory_sampler=SteppingSampler([0]))
+        with traced_build(custom):
+            assert not tracemalloc.is_tracing()
+
+    def test_never_stops_someone_elses_tracing(self):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            with traced_build(GovernancePolicy(memory_budget_bytes=1)):
+                assert tracemalloc.is_tracing()
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_default_sampler_reads_zero_when_cold(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        assert default_sampler() == 0
+
+    def test_governors_share_the_scope_base_reading(self):
+        # One base reading per build scope: the loop governor and the
+        # build-boundary governor must measure the same delta, and a
+        # scripted sampler must be consumed exactly once for the base.
+        from repro.governance.memory import build_base
+
+        sampler = SteppingSampler([500, 2000])
+        policy = GovernancePolicy(memory_budget_bytes=1 << 20,
+                                  memory_sampler=sampler)
+        assert build_base() is None
+        with traced_build(policy):
+            assert build_base() == 500
+            first = Governor(policy, "build", None)
+            second = Governor(policy, "build", None)
+            assert first._base_bytes == 500
+            assert second._base_bytes == 500
+        assert build_base() is None
+        # Outside a scope a governor samples its own base.
+        loner = Governor(policy, "build", None)
+        assert loner._base_bytes == 2000
+
+
+# ----------------------------------------------------------------------
+# Option validators (satellite: timeout vs deadline semantics)
+# ----------------------------------------------------------------------
+class TestValidators:
+    @pytest.mark.parametrize("bad", [0.0, -0.5])
+    def test_deadline_seconds_must_be_positive(self, bad):
+        with pytest.raises(AlgorithmError, match="deadline_seconds"):
+            validate_deadline_seconds(bad)
+
+    def test_deadline_seconds_accepts_none_and_positive(self):
+        assert validate_deadline_seconds(None) is None
+        assert validate_deadline_seconds(2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_max_memory_bytes_must_be_positive(self, bad):
+        with pytest.raises(AlgorithmError, match="max_memory_bytes"):
+            validate_max_memory_bytes(bad)
+
+    def test_docstrings_state_the_scope_split(self):
+        # The per-chunk/whole-join distinction is documented contract.
+        from repro.core.options import validate_timeout_seconds
+
+        assert "chunk" in validate_timeout_seconds.__doc__
+        assert "deadline_seconds" in validate_timeout_seconds.__doc__
+        assert "join" in validate_deadline_seconds.__doc__
+
+
+# ----------------------------------------------------------------------
+# Inline executor rejects pooled-only bounds (satellite)
+# ----------------------------------------------------------------------
+class TestInlineRejection:
+    @pytest.mark.parametrize("option", [dict(timeout_seconds=1.0),
+                                        dict(retries=3),
+                                        dict(retry_policy=None),
+                                        dict(fallback=True),
+                                        dict(validate_results=True)])
+    def test_pooled_only_option_is_a_loud_error(self, option):
+        from repro.exec.inline import InlineJoin
+
+        with pytest.raises(AlgorithmError, match="deadline_seconds instead"):
+            InlineJoin(algorithm="ptsj", **option)
+
+    def test_inline_honors_a_whole_join_deadline(self):
+        from repro.exec.inline import InlineJoin
+
+        r = random_relation(40, 6, 30, seed=11)
+        s = random_relation(40, 4, 30, seed=12)
+        with govern(GovernancePolicy(deadline=expired_deadline(), poll_interval=1)):
+            with pytest.raises(DeadlineExceededError):
+                InlineJoin(algorithm="ptsj").join(r, s)
+
+
+# ----------------------------------------------------------------------
+# Planner feasibility screening and execute_plan
+# ----------------------------------------------------------------------
+class TestPlannerGovernance:
+    def _stats(self, size):
+        from tests.test_planner import make_stats
+
+        return make_stats(size)
+
+    def test_no_deadline_no_governance_decision(self):
+        from repro.planner import Planner, Workload
+
+        p = Planner().plan(self._stats(1000), self._stats(1000), Workload())
+        assert p.decision("governance") is None
+
+    def test_feasible_deadline_is_recorded(self):
+        from repro.planner import Planner, Workload
+
+        p = Planner().plan(self._stats(1000), self._stats(1000),
+                           Workload(deadline_seconds=3600.0))
+        decision = p.decision("governance")
+        assert decision is not None
+        assert decision.detail_dict()["feasible"] is True
+        assert decision.detail_dict()["deadline_seconds"] == 3600.0
+        assert "estimated_seconds" in decision.detail_dict()
+
+    def test_hopeless_deadline_is_screened_infeasible(self):
+        from repro.planner import Planner, Workload
+
+        p = Planner().plan(self._stats(2_000_000), self._stats(2_000_000),
+                           Workload(deadline_seconds=1e-6))
+        decision = p.decision("governance")
+        assert decision.choice == "infeasible"
+        assert decision.detail_dict()["feasible"] is False
+
+    def test_execute_plan_refuses_an_infeasible_plan(self):
+        from repro.core.registry import execute_plan
+        from repro.planner import Planner, Workload
+
+        r = random_relation(10, 4, 20, seed=21)
+        s = random_relation(10, 3, 20, seed=22)
+        p = Planner().plan(self._stats(2_000_000), self._stats(2_000_000),
+                           Workload(deadline_seconds=1e-6))
+        with pytest.raises(DeadlineExceededError, match="refused before execution"):
+            execute_plan(p, r, s)
+
+    def test_workload_validates_governance_hints(self):
+        from repro.planner import Workload
+
+        with pytest.raises(AlgorithmError):
+            Workload(deadline_seconds=0.0)
+        with pytest.raises(AlgorithmError):
+            Workload(max_memory_bytes=-1)
+
+    def test_workload_serializes_governance_hints(self):
+        from repro.planner import Workload
+
+        payload = Workload(deadline_seconds=2.0, max_memory_bytes=4096).to_dict()
+        assert payload["deadline_seconds"] == 2.0
+        assert payload["max_memory_bytes"] == 4096
+
+    def test_policy_from_workload(self):
+        from repro.planner import Planner, Workload, policy_from_workload
+
+        stats = self._stats(1000)
+        bare = Planner().plan(stats, stats, Workload())
+        assert policy_from_workload(bare) is None
+        hinted = Planner().plan(stats, stats,
+                                Workload(deadline_seconds=60.0,
+                                         max_memory_bytes=1 << 30))
+        policy = policy_from_workload(hinted)
+        assert policy.deadline.seconds == 60.0
+        assert policy.memory_budget_bytes == 1 << 30
+
+    def test_execute_plan_installs_ambient_policy(self):
+        from repro.core.registry import execute_plan
+        from repro.planner import Planner, Workload
+
+        r = random_relation(30, 5, 25, seed=31)
+        s = random_relation(30, 3, 25, seed=32)
+        stats = self._stats(30)
+        p = Planner().plan(stats, stats, Workload(deadline_seconds=3600.0))
+        result = execute_plan(p, r, s)
+        # The join ran governed: its loops polled the installed policy.
+        assert result.stats.extras.get("deadline_polls", 0) >= 0
+        assert current_policy() is None  # and the install was scoped
+
+    def test_caller_policy_wins_over_workload_hints(self):
+        from repro.core.registry import execute_plan
+        from repro.planner import Planner, Workload
+
+        r = random_relation(30, 5, 25, seed=33)
+        s = random_relation(30, 3, 25, seed=34)
+        stats = self._stats(30)
+        p = Planner().plan(stats, stats, Workload(deadline_seconds=3600.0))
+        with govern(GovernancePolicy(deadline=expired_deadline(), poll_interval=1)):
+            with pytest.raises(DeadlineExceededError):
+                execute_plan(p, r, s)
+
+
+# ----------------------------------------------------------------------
+# Tracer integration
+# ----------------------------------------------------------------------
+def test_governance_is_a_tracer_phase():
+    from repro.obs.tracer import PHASES
+
+    assert "governance" in PHASES

@@ -1,0 +1,269 @@
+"""Chaos drills: governance bounds stop every executor, cleanly.
+
+Each drill injects a deterministic governance fault — a pre-expired
+deadline (via :class:`~repro.testing.faults.SkewedClock`), a mid-build
+cancel (:class:`~repro.testing.faults.CountdownCancelToken`), or a
+memory-budget trip (:class:`~repro.testing.faults.SteppingSampler`) —
+and asserts the three invariants the subsystem promises:
+
+1. the join terminates with the *typed* governance error (or, for the
+   resilient executor's budget path, a recorded degradation);
+2. nothing leaks: no orphaned worker processes, no leftover spill files
+   in a caller-owned workdir;
+3. the tracer's span stack stays balanced through the abort (checked
+   the same way ``REPRO_SANITIZE=1`` does in CI).
+
+No drill sleeps and none asserts on wall-clock timings: clocks are
+skewed, tokens count checks, samplers read from a script.
+
+Set ``REPRO_START_METHOD=fork|spawn`` to pin the pool start method (CI
+runs the drills once per method).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    CancelledError,
+    DeadlineExceededError,
+)
+from repro.governance import CancelToken, Deadline, GovernancePolicy, govern
+from repro.obs import Tracer, use
+from repro.testing.faults import CountdownCancelToken, SkewedClock, SteppingSampler
+from tests.conftest import oracle_pairs, random_relation
+
+#: Optional start-method override so CI can drill both fork and spawn.
+START_METHOD = os.environ.get("REPRO_START_METHOD") or None
+
+
+def make_executor(name: str, workers: int = 2, **extra):
+    """One governed executor per registry name, pool sizes kept tiny."""
+    if name == "inline":
+        from repro.exec.inline import InlineJoin
+
+        return InlineJoin(algorithm="ptsj", **extra)
+    if name == "parallel":
+        from repro.exec.parallel import ParallelJoin
+
+        return ParallelJoin(algorithm="ptsj", workers=workers, chunks=2,
+                            start_method=START_METHOD, **extra)
+    if name == "sharded":
+        from repro.exec.sharded import ShardedJoin
+
+        return ShardedJoin(algorithm="ptsj", workers=workers, shards=2,
+                           start_method=START_METHOD, **extra)
+    if name == "resilient":
+        from repro.exec.resilient import ResilientParallelJoin
+
+        return ResilientParallelJoin(algorithm="ptsj", workers=workers,
+                                     chunks=2, start_method=START_METHOD,
+                                     **extra)
+    if name == "disk":
+        from repro.exec.disk import DiskPartitionedJoin
+
+        return DiskPartitionedJoin(algorithm="ptsj", max_tuples=16, **extra)
+    raise AssertionError(name)
+
+
+ALL_EXECUTORS = ["inline", "parallel", "sharded", "resilient", "disk"]
+POOLED_EXECUTORS = ["parallel", "sharded", "resilient"]
+
+
+def expired_deadline(seconds: float = 1.0) -> Deadline:
+    """Already overdue, without sleeping: real ``at``, skewed evaluation."""
+    real = Deadline.after(seconds)
+    return Deadline(at=real.at, seconds=real.seconds,
+                    clock=SkewedClock(seconds + 5.0))
+
+
+def assert_no_orphans() -> None:
+    """No worker process survives a governed abort.
+
+    Pool shutdown reaps asynchronously, so poll briefly instead of
+    asserting on the instant — the bound is "they die", not "they die
+    before the next bytecode".
+    """
+    deadline = time.monotonic() + 5.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert not multiprocessing.active_children()
+
+
+@pytest.fixture
+def rs_pair():
+    r = random_relation(80, 6, 40, seed=701)
+    s = random_relation(80, 4, 40, seed=702)
+    return r, s
+
+
+@pytest.fixture
+def sanitized_tracer(monkeypatch):
+    """A tracer whose teardown fails the test on an unbalanced span stack."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    tracer = Tracer("drill")
+    with use(tracer):
+        yield tracer
+    tracer.finish()  # raises SanitizerError if any span leaked
+
+
+# ----------------------------------------------------------------------
+# Deadline drills
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_EXECUTORS)
+def test_expired_deadline_stops_every_executor(name, rs_pair, sanitized_tracer):
+    r, s = rs_pair
+    policy = GovernancePolicy(deadline=expired_deadline(), poll_interval=1)
+    with govern(policy):
+        with pytest.raises(DeadlineExceededError, match="deadline of 1s exceeded"):
+            make_executor(name).join(r, s)
+    assert_no_orphans()
+
+
+@pytest.mark.parametrize("name", POOLED_EXECUTORS)
+def test_deadline_travels_into_worker_policies(name, rs_pair):
+    # A *generous* deadline is shipped but never trips: the governed run
+    # must complete and match the ungoverned ground truth, proving the
+    # policy plumbing is inert until a bound actually breaches.
+    r, s = rs_pair
+    policy = GovernancePolicy(deadline=Deadline.after(600.0), poll_interval=4)
+    with govern(policy):
+        result = make_executor(name).join(r, s)
+    assert result.pair_set() == oracle_pairs(r, s)
+    assert result.stats.extras.get("deadline_polls", 0) >= 1
+    assert_no_orphans()
+
+
+# ----------------------------------------------------------------------
+# Cancellation drills
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_EXECUTORS)
+def test_mid_build_cancel_stops_every_executor(name, rs_pair, sanitized_tracer):
+    r, s = rs_pair
+    # Trips on the third poll: the build loop gets underway, then the
+    # "user hits Ctrl-C" moment lands mid-flight, deterministically.
+    token = CountdownCancelToken(after_checks=3)
+    with govern(GovernancePolicy(cancel=token, poll_interval=4)):
+        with pytest.raises(CancelledError, match="countdown tripped"):
+            make_executor(name).join(r, s)
+    assert_no_orphans()
+
+
+@pytest.mark.parametrize("name", POOLED_EXECUTORS)
+def test_flag_file_cancel_is_observed_across_processes(name, rs_pair, tmp_path,
+                                                       sanitized_tracer):
+    # The cancel is issued through a *peer* token sharing only the flag
+    # directory — exactly how a parent-side cancel reaches pool workers
+    # under fork and spawn alike.
+    r, s = rs_pair
+    token = CancelToken(flag_dir=tmp_path, name="drill")
+    CancelToken(flag_dir=tmp_path, name="drill").cancel("issued by peer")
+    with govern(GovernancePolicy(cancel=token, poll_interval=1)):
+        with pytest.raises(CancelledError, match="cancelled by peer process"):
+            make_executor(name).join(r, s)
+    assert_no_orphans()
+
+
+def test_cancel_after_instant_travels_by_value(rs_pair):
+    # --cancel-after is an absolute monotonic instant on the token; a
+    # pre-elapsed instant cancels the join wherever it is checked.
+    r, s = rs_pair
+    token = CancelToken(cancel_at=1.0, clock=SkewedClock(1e9))
+    with govern(GovernancePolicy(cancel=token, poll_interval=1)):
+        with pytest.raises(CancelledError, match="cancel_after budget elapsed"):
+            make_executor("parallel").join(r, s)
+    assert_no_orphans()
+
+
+# ----------------------------------------------------------------------
+# Memory-budget drills
+# ----------------------------------------------------------------------
+def budget_policy(poll_interval: int = 8) -> GovernancePolicy:
+    # Base 1000, one healthy sample, then a reading 1696 bytes over.
+    return GovernancePolicy(memory_budget_bytes=1024, poll_interval=poll_interval,
+                            memory_sampler=SteppingSampler([1000, 1600, 2720]))
+
+
+@pytest.mark.parametrize("name", ["inline", "parallel", "sharded", "disk"])
+def test_budget_trip_raises_typed_error(name, rs_pair, sanitized_tracer):
+    r, s = rs_pair
+    with govern(budget_policy()):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            make_executor(name).join(r, s)
+    breach = excinfo.value
+    assert breach.budget_bytes == 1024
+    assert breach.used_bytes == 1720
+    assert breach.records_indexed > 0
+    assert_no_orphans()
+
+
+@pytest.mark.parametrize("workers,target", [(2, "sharded"), (1, "disk")])
+def test_resilient_degrades_instead_of_failing(workers, target, rs_pair,
+                                               sanitized_tracer):
+    r, s = rs_pair
+    with govern(budget_policy()):
+        result = make_executor("resilient", workers=workers).join(r, s)
+    assert result.pair_set() == oracle_pairs(r, s)
+    assert result.stats.extras["degraded_to"] == target
+    assert result.stats.extras["budget_breach_bytes"] == 1720
+    assert_no_orphans()
+
+
+def test_degraded_run_keeps_honoring_cancel(rs_pair):
+    # Degradation strips the *budget* (re-planning exists to finish the
+    # join) but the cancel token must keep applying to the fallback run.
+    r, s = rs_pair
+    token = CountdownCancelToken(after_checks=40)
+    policy = GovernancePolicy(cancel=token, poll_interval=2,
+                              memory_budget_bytes=1024,
+                              memory_sampler=SteppingSampler([1000, 2720]))
+    with govern(policy):
+        with pytest.raises(CancelledError):
+            make_executor("resilient", workers=1).join(r, s)
+    assert_no_orphans()
+
+
+# ----------------------------------------------------------------------
+# Spill hygiene
+# ----------------------------------------------------------------------
+def test_no_spill_files_leak_from_an_aborted_disk_join(rs_pair, tmp_path,
+                                                       sanitized_tracer):
+    r, s = rs_pair
+    workdir = tmp_path / "spill"
+    workdir.mkdir()
+    token = CountdownCancelToken(after_checks=2)
+    with govern(GovernancePolicy(cancel=token, poll_interval=1)):
+        with pytest.raises(CancelledError):
+            make_executor("disk", workdir=workdir).join(r, s)
+    leftovers = [p for p in workdir.rglob("*") if p.is_file()]
+    assert leftovers == []
+
+
+def test_disk_join_cleans_up_after_a_deadline_abort(rs_pair, tmp_path):
+    r, s = rs_pair
+    workdir = tmp_path / "spill"
+    workdir.mkdir()
+    policy = GovernancePolicy(deadline=expired_deadline(), poll_interval=1)
+    with govern(policy):
+        with pytest.raises(DeadlineExceededError):
+            make_executor("disk", workdir=workdir).join(r, s)
+    assert [p for p in workdir.rglob("*") if p.is_file()] == []
+
+
+# ----------------------------------------------------------------------
+# Ungoverned runs are untouched
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_EXECUTORS)
+def test_ungoverned_runs_carry_no_governance_extras(name, rs_pair):
+    r, s = rs_pair
+    result = make_executor(name).join(r, s)
+    assert result.pair_set() == oracle_pairs(r, s)
+    assert "deadline_polls" not in result.stats.extras
+    assert "cancelled_chunks" not in result.stats.extras
+    assert "degraded_to" not in result.stats.extras
+    assert_no_orphans()

@@ -24,16 +24,24 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.base import JoinStats
-from repro.exec.merge import ADDITIVE_FIELDS, STRUCTURAL_FIELDS, merge_stats
+from repro.exec.merge import (
+    ADDITIVE_EXTRAS,
+    ADDITIVE_FIELDS,
+    MARKER_EXTRAS,
+    STRUCTURAL_FIELDS,
+    merge_stats,
+)
 
 #: Exact dyadic wall-times: sums of any few hundred stay representable.
 _seconds = st.integers(min_value=0, max_value=1 << 20).map(lambda n: n / 64.0)
 _count = st.integers(min_value=0, max_value=1 << 40)
+#: Governance markers a piece may carry after a budget degradation.
+_degraded = st.sampled_from(["disk", "sharded"])
 
 
 @st.composite
-def join_stats(draw) -> JoinStats:
-    return JoinStats(
+def join_stats(draw, governed: bool = False) -> JoinStats:
+    stats = JoinStats(
         algorithm="part",
         build_seconds=draw(_seconds),
         probe_seconds=draw(_seconds),
@@ -45,6 +53,15 @@ def join_stats(draw) -> JoinStats:
         index_nodes=draw(_count),
         signature_bits=draw(st.integers(min_value=0, max_value=1 << 16)),
     )
+    if governed:
+        # Each governance extra is independently present-or-absent, the
+        # way real pieces carry them (ungoverned shards have none).
+        for key in ADDITIVE_EXTRAS:
+            if draw(st.booleans()):
+                stats.extras[key] = draw(st.integers(min_value=0, max_value=1 << 20))
+        if draw(st.booleans()):
+            stats.extras["degraded_to"] = draw(_degraded)
+    return stats
 
 
 def fold(parts: list[JoinStats]) -> JoinStats:
@@ -118,3 +135,63 @@ def test_pairs_is_not_merged():
     total = JoinStats(pairs=3)
     merge_stats(total, JoinStats(pairs=5))
     assert total.pairs == 3
+
+
+# ----------------------------------------------------------------------
+# Governance extras (deadline_polls / cancelled_chunks / degraded_to)
+# ----------------------------------------------------------------------
+def merged_extras(stats: JoinStats) -> dict[str, object]:
+    keys = ADDITIVE_EXTRAS + MARKER_EXTRAS
+    return {k: stats.extras.get(k) for k in keys}
+
+
+@given(parts=st.lists(join_stats(governed=True), max_size=8), data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_governance_extras_fold_is_permutation_invariant(parts, data):
+    shuffled = data.draw(st.permutations(parts))
+    assert merged_extras(fold(parts)) == merged_extras(fold(shuffled))
+
+
+@given(parts=st.lists(join_stats(governed=True), min_size=1, max_size=8), data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_governance_extras_merge_associatively(parts, data):
+    # Same hierarchical-vs-flat check as the field fold: merging
+    # pre-merged sub-aggregates must equal the flat left-to-right fold,
+    # for the summed extras and the maxed marker alike.
+    cut = data.draw(st.integers(min_value=0, max_value=len(parts)))
+    grouped = merge_stats(fold(parts[:cut]), fold(parts[cut:]))
+    assert merged_extras(grouped) == merged_extras(fold(parts))
+
+
+@given(parts=st.lists(join_stats(governed=True), min_size=1, max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_governance_extras_sum_and_max_by_hand(parts):
+    total = fold(parts)
+    for key in ADDITIVE_EXTRAS:
+        carried = [p.extras[key] for p in parts if key in p.extras]
+        expected = sum(carried) if carried else None
+        assert total.extras.get(key) == expected
+    markers = [p.extras["degraded_to"] for p in parts if "degraded_to" in p.extras]
+    assert total.extras.get("degraded_to") == (max(markers) if markers else None)
+
+
+@given(parts=st.lists(join_stats(governed=True), min_size=1, max_size=8), data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_partial_shard_set_still_merges_structural_fields(parts, data):
+    # A cancelled run folds only the pieces that finished.  Whatever
+    # subset survives — and in whatever completion order — the
+    # structural fields and governance extras obey the same algebra, so
+    # the partial aggregate is deterministic for that subset.
+    survivors = [p for p in parts if data.draw(st.booleans())]
+    shuffled = data.draw(st.permutations(survivors))
+    total, reordered = fold(survivors), fold(shuffled)
+    assert merged_fields(total) == merged_fields(reordered)
+    assert merged_extras(total) == merged_extras(reordered)
+    for field in STRUCTURAL_FIELDS:
+        expected = max((getattr(p, field) for p in survivors), default=0)
+        assert getattr(total, field) == expected
+
+
+def test_ungoverned_pieces_leave_extras_absent():
+    total = fold([JoinStats(), JoinStats()])
+    assert total.extras == {}
