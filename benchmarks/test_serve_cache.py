@@ -1,0 +1,72 @@
+"""Bench gate: a resident index must make warm probes much cheaper.
+
+The join server's reason to exist is the build-once/probe-many
+asymmetry: the first ``probe`` request for an S pays plan + index build
++ probe, every later request against the same resident index (via the
+``s_ref`` handle from the first reply) pays probe alone.  This gate
+drives a real server over a socket and requires the warm-probe p50 to
+be at least 5x better than the cold build+probe — if a refactor ever
+makes the cache miss (fingerprint instability, key drift, eviction
+bug), the warm path degrades to the cold path and this gate fails long
+before a production trace would show it.
+
+Server-side request seconds are compared (the reply's ``seconds``
+field), so the gate measures the serving path — framing, admission,
+governance install, cache, probe — without client-side socket noise.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.bench.harness import dataset_pair
+from repro.datagen.synthetic import SyntheticConfig
+from repro.relations.relation import Relation
+from repro.serve import JoinClient, JoinServer
+
+#: A build-heavy S (large, high cardinality) against a tiny probe R: the
+#: regime the serving layer exists for.
+S_CONFIG = SyntheticConfig(size=3000, avg_cardinality=24, domain=2 ** 9,
+                           seed=421, name="serve-cache S")
+PROBE_RECORDS = 16
+WARM_REPEATS = 9
+
+#: Required cold/warm advantage.  The build scans 3000 records and the
+#: warm probe scans 16, so the structural ratio is far larger; 5x keeps
+#: headroom for socket and framing overhead on slow CI machines.
+MIN_SPEEDUP = 5.0
+
+
+def test_cached_probe_p50_at_least_5x_better_than_cold():
+    _, s = dataset_pair(S_CONFIG)
+    r = Relation((rec for rec in list(s)[:PROBE_RECORDS]), name="probe-r")
+
+    with JoinServer(cache_capacity=4) as server:
+        with JoinClient(address=server.address) as client:
+            cold = client.probe(r, s, algorithm="ptsj")
+            assert cold["cache_hit"] is False
+            warm_seconds = []
+            for _ in range(WARM_REPEATS):
+                warm = client.probe(r, s_ref=cold["s_key"], algorithm="ptsj")
+                assert warm["cache_hit"] is True
+                assert warm["pairs"] == cold["pairs"]
+                warm_seconds.append(warm["seconds"])
+            # Re-shipping the full S payload must still hit the resident
+            # index (content fingerprinting, not handles, is the keying).
+            refetch = client.probe(r, s, algorithm="ptsj")
+            assert refetch["cache_hit"] is True
+        snapshot = server.registry.snapshot()
+
+    cold_seconds = cold["seconds"]
+    warm_p50 = statistics.median(warm_seconds)
+    speedup = cold_seconds / warm_p50
+    print(f"\nserve-cache gate: cold={cold_seconds * 1e3:.2f}ms "
+          f"warm p50={warm_p50 * 1e3:.2f}ms speedup={speedup:.1f}x "
+          f"(gate >= {MIN_SPEEDUP}x)")
+    assert snapshot["cache.hits"] == WARM_REPEATS + 1  # handles + the re-ship
+    assert snapshot["cache.misses"] == 1
+    assert speedup >= MIN_SPEEDUP, (
+        f"resident index only {speedup:.1f}x faster than cold build+probe "
+        f"(cold {cold_seconds:.4f}s, warm p50 {warm_p50:.4f}s); the cache "
+        "is not delivering the build-once/probe-many asymmetry"
+    )

@@ -239,6 +239,30 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="list every registered rule and exit")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run a long-lived join server with a resident index cache "
+             "(JSONL over TCP; docs/SERVER.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port; 0 picks a free one (printed at start)")
+    serve.add_argument("--max-connections", type=int, default=8,
+                       help="connections served concurrently (thread pool size)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="admission bound on concurrent probe/join requests "
+                            "(default: --max-connections); excess requests get "
+                            "a typed over_capacity rejection")
+    serve.add_argument("--cache-capacity", type=int, default=32,
+                       help="resident prepared indexes (LRU bound)")
+    serve.add_argument("--cache-ttl", type=float, default=None, metavar="SECONDS",
+                       help="prepared-index lifetime (default: no expiry)")
+    serve.add_argument("--deadline-seconds", type=float, default=None,
+                       help="default per-request deadline (a request's own "
+                            "deadline_seconds overrides)")
+    serve.add_argument("--max-memory", type=int, default=None, metavar="BYTES",
+                       help="default per-request index-build memory budget")
+
     bench = sub.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
                        choices=("fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
@@ -621,6 +645,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serving layer (sockets, thread pool) should
+    # not load for the one-shot subcommands.
+    from repro.serve import JoinServer
+
+    policy = None
+    if args.max_memory is not None:
+        from repro.governance import GovernancePolicy
+
+        policy = GovernancePolicy(memory_budget_bytes=args.max_memory)
+    server = JoinServer(
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        max_inflight=args.max_inflight,
+        cache_capacity=args.cache_capacity,
+        cache_ttl_seconds=args.cache_ttl,
+        default_policy=policy,
+        default_deadline_seconds=args.deadline_seconds,
+    )
+    server.start()
+    assert server.address is not None
+    print(f"serving on {server.address[0]}:{server.address[1]} "
+          f"(cache={args.cache_capacity}, inflight<={server.max_inflight}); "
+          f"send a shutdown request or Ctrl-C to stop", flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:  # repro: noqa RPR008 Ctrl-C is the operator's shutdown request; stop() in finally does the work  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.stop()
+    print("server stopped", flush=True)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # The analysis package is self-contained and lazily imported: linting
     # never drags in numpy or the multiprocessing machinery.
@@ -639,6 +698,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "join": _cmd_join,
         "probe": _cmd_probe,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
         "bench": _cmd_bench,
     }

@@ -35,6 +35,7 @@ makes every span a no-op, keeping the un-traced path unchanged.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -229,6 +230,11 @@ class PreparedIndex(ABC):
         self._probe_calls = 0
         self._probe_records = 0
         self._cumulative = JoinStats(algorithm=algorithm)
+        # Guards the cumulative accounting (probe_calls/probe_records and
+        # the cumulative stats) so a cache-resident index served to many
+        # concurrent request threads never drops a batch.  Probing itself
+        # is read-only over the index structures and runs unlocked.
+        self._accounting_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Probing
@@ -266,13 +272,16 @@ class PreparedIndex(ABC):
                 tracer.count("node_visits", stats.node_visits)
                 tracer.count("intersections", stats.intersections)
                 tracer.observe("probe_seconds", stats.probe_seconds)
-        self._probe_calls += 1
-        self._probe_records += len(r)
-        stats.extras["probe_calls"] = self._probe_calls
-        stats.extras["reused_index"] = 0 if self._probe_calls == 1 else 1
-        result = JoinResult(pairs, stats)
-        self._accumulate(stats)
-        maybe_check_probe_accounting(self, stats, len(r))
+        with self._accounting_lock:
+            self._probe_calls += 1
+            self._probe_records += len(r)
+            stats.extras["probe_calls"] = self._probe_calls
+            stats.extras["reused_index"] = 0 if self._probe_calls == 1 else 1
+            result = JoinResult(pairs, stats)
+            self._accumulate(stats)
+            # Inside the lock so the sanitizer's batch-vs-cumulative
+            # comparison sees one batch's accounting, not a torn view.
+            maybe_check_probe_accounting(self, stats, len(r))
         return result
 
     def _probe_all(self, r: Relation, stats: JoinStats) -> list[tuple[int, int]]:
@@ -354,6 +363,18 @@ class PreparedIndex(ABC):
     def __len__(self) -> int:
         """Number of indexed tuples."""
         return len(self.relation)
+
+    # ------------------------------------------------------------------
+    # Pickling (indexes are shipped to pool workers under spawn)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_accounting_lock"]  # locks do not pickle; worker gets its own
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._accounting_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -94,6 +94,41 @@ class InjectedFaultError(WorkerError):
     """A deliberate failure raised by :mod:`repro.testing.faults` wrappers."""
 
 
+class ServeError(ReproError):
+    """A failure in the join-server layer (:mod:`repro.serve`).
+
+    Every error the server puts on the wire carries a stable ``code``
+    string (see ``docs/SERVER.md``); :class:`~repro.serve.client.JoinClient`
+    re-raises the matching typed exception on its side of the socket.
+    """
+
+    #: Wire-protocol error code; subclasses override.
+    code = "internal"
+
+
+class OverCapacityError(ServeError):
+    """Admission control rejected a request: too many in flight.
+
+    The 429-style outcome — the server is up but refuses to queue more
+    than ``max_inflight`` concurrent requests; clients should back off
+    and retry.  Raised *before* any join work starts, so a rejected
+    request holds no index, no policy and no in-flight slot.
+    """
+
+    code = "over_capacity"
+
+
+class ProtocolError(ServeError):
+    """A malformed or invalid request reached the join server.
+
+    Covers undecodable JSONL, non-object payloads, unknown operations and
+    schema violations.  The reply is an error frame; the connection
+    stays usable for the next request.
+    """
+
+    code = "bad_request"
+
+
 class GovernanceError(ReproError):
     """A resource-governance bound stopped a join (:mod:`repro.governance`).
 

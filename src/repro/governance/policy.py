@@ -25,6 +25,7 @@ must tick a governor or carry an explained waiver.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Iterator, Optional
@@ -60,7 +61,7 @@ DEFAULT_POLL_INTERVAL = 1024
 
 @dataclass(frozen=True)
 class GovernancePolicy:
-    """Immutable bundle of join bounds, carried ambiently per process.
+    """Immutable bundle of join bounds, carried ambiently per thread.
 
     Attributes:
         deadline: Whole-join absolute deadline, or ``None``.
@@ -107,22 +108,24 @@ class GovernancePolicy:
         return replace(self, memory_sampler=None)
 
 
-# Process-local ambient policy, mirroring the tracer's ``_CURRENT``:
-# plain module state is correct because workers are processes, not
-# threads, and each pool initializer installs its own copy.
-_CURRENT: Optional[GovernancePolicy] = None
+# Thread-local ambient policy, mirroring the tracer's storage.  Pool
+# workers are processes whose initializers install their own copy in the
+# worker's main thread; the join server's request threads each install a
+# per-request policy (deadline/budget from the request) without
+# clobbering the policies of concurrently-running requests.
+_STATE = threading.local()
 
 
 def current_policy() -> GovernancePolicy | None:
-    """The ambient policy for this process, or ``None``."""
-    return _CURRENT
+    """The ambient policy for this thread, or ``None``."""
+    policy: Optional[GovernancePolicy] = getattr(_STATE, "policy", None)
+    return policy
 
 
 def set_policy(policy: GovernancePolicy | None) -> GovernancePolicy | None:
-    """Install ``policy`` ambiently; returns the previous one."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = policy
+    """Install ``policy`` ambiently for this thread; returns the previous one."""
+    previous = current_policy()
+    _STATE.policy = policy
     return previous
 
 
@@ -214,7 +217,7 @@ def governor(phase: str, stats: "JoinStats | None" = None) -> Governor | None:
     The ``None`` return is the governance-off fast path: loops hoist the
     result and guard each tick with ``if gov is not None``.
     """
-    policy = _CURRENT
+    policy = current_policy()
     if policy is None or not policy.active:
         return None
     return Governor(policy, phase, stats)

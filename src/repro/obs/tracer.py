@@ -38,6 +38,7 @@ spans into the parent's tree without cross-process plumbing.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import tracemalloc
 from contextlib import contextmanager
@@ -350,21 +351,24 @@ class NullTracer:
         return {}
 
 
-#: Process-local current tracer.  Worker processes start with their own
-#: NullTracer; parallel executors aggregate worker time via stats instead.
-_CURRENT: Tracer | NullTracer = NullTracer()
+#: Thread-local current tracer.  Each thread starts with the shared
+#: NullTracer: worker *processes* install their own (parallel executors
+#: aggregate worker time via stats instead), and the join server's
+#: request threads each install a per-request tracer without clobbering
+#: one another — span trees are never shared across threads.
+_STATE = threading.local()
+_NULL = NullTracer()
 
 
 def current_tracer() -> Tracer | NullTracer:
-    """The tracer active in this process (a :class:`NullTracer` by default)."""
-    return _CURRENT
+    """The tracer active in this thread (a :class:`NullTracer` by default)."""
+    return getattr(_STATE, "tracer", _NULL)
 
 
 def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
-    """Install ``tracer`` as the current tracer; returns the previous one."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = tracer
+    """Install ``tracer`` as this thread's tracer; returns the previous one."""
+    previous = getattr(_STATE, "tracer", _NULL)
+    _STATE.tracer = tracer
     return previous
 
 

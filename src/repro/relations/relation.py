@@ -70,7 +70,7 @@ class Relation:
         RelationError: If two records share an id.
     """
 
-    __slots__ = ("_records", "_by_id", "name", "_stats")
+    __slots__ = ("_records", "_by_id", "name", "_stats", "_fingerprint")
 
     def __init__(self, records: Iterable[SetRecord], name: str = "") -> None:
         self._records: tuple[SetRecord, ...] = tuple(records)
@@ -79,6 +79,8 @@ class Relation:
         # Memoized RelationStats; records are immutable, so the first
         # compute_stats() call fills this and later calls never rescan.
         self._stats = None
+        # Memoized content hash; see fingerprint().
+        self._fingerprint: str | None = None
         for rec in self._records:
             if rec.rid in self._by_id:
                 raise RelationError(f"duplicate record id {rec.rid} in relation {name!r}")
@@ -178,6 +180,43 @@ class Relation:
                 if m > best:
                     best = m
         return best
+
+    def fingerprint(self) -> str:
+        """A stable content hash of this relation — the index-cache key.
+
+        SHA-256 over the canonical encoding of every ``(rid, elements)``
+        pair, records visited in ascending rid order and elements in
+        ascending value order.  Two relations holding the same records
+        therefore fingerprint identically *regardless of insertion
+        order*, while any content change — an element added, removed or
+        altered, or a record re-identified — changes the hash.  The
+        ``name`` attribute is presentation metadata and is deliberately
+        excluded.
+
+        The join server's :class:`~repro.serve.cache.IndexCache` keys
+        resident :class:`~repro.core.base.PreparedIndex` objects by this
+        value (see ``docs/SERVER.md``), so equal payloads sent by
+        different clients share one index build.
+
+        The hash is memoized: records are immutable, so the first call
+        pays one scan and later calls are a field read.
+
+        >>> a = Relation.from_mapping({0: {1, 2}, 1: {3}})
+        >>> b = Relation.from_mapping({1: {3}, 0: {2, 1}})
+        >>> a.fingerprint() == b.fingerprint()
+        True
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            update = digest.update
+            for rec in sorted(self._records, key=lambda record: record.rid):
+                update(b"r%d:" % rec.rid)
+                for element in sorted(rec.elements):
+                    update(b"%d," % element)
+            self._fingerprint = "rf1:" + digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Derivations

@@ -1,0 +1,21 @@
+"""Long-lived join serving: a socket server with resident prepared indexes.
+
+The library's :func:`~repro.core.registry.prepare_index` API already
+amortises index builds *within* one process; this package amortises them
+*across* callers.  :class:`JoinServer` keeps hot
+:class:`~repro.core.base.PreparedIndex` objects resident in an LRU+TTL
+:class:`IndexCache` keyed by relation content
+(:meth:`Relation.fingerprint() <repro.relations.relation.Relation.fingerprint>`),
+speaks a line-delimited JSON protocol over TCP, and enforces per-request
+governance and admission control.  :class:`JoinClient` is the matching
+typed client.  Run one from the command line with ``repro-scj serve``.
+
+See ``docs/SERVER.md`` for the protocol and operational semantics, and
+``tests/test_serve.py`` for the concurrency/chaos suite that pins them.
+"""
+
+from repro.serve.cache import IndexCache, index_key
+from repro.serve.client import JoinClient
+from repro.serve.server import JoinServer
+
+__all__ = ["IndexCache", "JoinClient", "JoinServer", "index_key"]

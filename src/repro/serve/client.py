@@ -1,0 +1,208 @@
+"""A blocking client for the join server's JSONL protocol.
+
+:class:`JoinClient` opens one TCP connection and issues one request at a
+time over it (the server processes a connection's requests serially and
+in order, so a connection is a session).  Error replies re-raise the
+*typed* exception their wire code names — an over-capacity rejection
+raises :class:`~repro.errors.OverCapacityError`, a tripped deadline
+raises :class:`~repro.errors.DeadlineExceededError` — so callers handle
+remote failures with exactly the ``except`` clauses they would use
+around the in-process API.
+
+Relations go on the wire as lists of element lists with positional
+record ids, matching :meth:`Relation.from_sets
+<repro.relations.relation.Relation.from_sets>`; :meth:`JoinClient.probe`
+accepts either a :class:`~repro.relations.relation.Relation` or the raw
+lists.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ProtocolError
+from repro.relations.relation import Relation
+from repro.serve.protocol import (
+    decode_frame,
+    encode_frame,
+    exception_for,
+    relation_to_payload,
+)
+
+__all__ = ["JoinClient"]
+
+
+def _payload(relation: Relation | Iterable[Iterable[int]]) -> list[list[int]]:
+    if isinstance(relation, Relation):
+        return relation_to_payload(relation)
+    return [sorted(elements) for elements in relation]
+
+
+class JoinClient:
+    """One connection to a :class:`~repro.serve.server.JoinServer`.
+
+    Args:
+        host: Server address (or pass ``address=(host, port)``).
+        port: Server port.
+        address: Convenience alternative to host/port — exactly what
+            ``JoinServer.address`` reports after start.
+        timeout_seconds: Socket timeout for connect and replies; ``None``
+            blocks forever.  This is a *transport* bound; the server-side
+            join bound is the request's ``deadline_seconds``.
+
+    Use as a context manager or call :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        address: tuple[str, int] | None = None,
+        timeout_seconds: float | None = 30.0,
+    ) -> None:
+        if address is not None:
+            host, port = address
+        self._sock = socket.create_connection((host, port), timeout=timeout_seconds)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _rpc(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Send one request frame, wait for its reply, raise typed errors."""
+        self._next_id += 1
+        frame.setdefault("id", self._next_id)
+        self._sock.sendall(encode_frame(frame))
+        return self._read_reply()
+
+    def send_raw(self, data: bytes) -> dict[str, Any]:
+        """Send pre-encoded bytes and read one reply frame.
+
+        The poison-request test seam: lets a test put a malformed line on
+        the wire through the same connection a healthy request will use
+        next.  ``data`` must already end with a newline.
+        """
+        self._sock.sendall(data)
+        return self._read_reply()
+
+    def _read_reply(self) -> dict[str, Any]:
+        line = self._reader.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        reply = decode_frame(line)
+        if reply.get("ok"):
+            return reply
+        error = reply.get("error")
+        if not isinstance(error, dict):
+            raise ProtocolError(f"malformed error reply: {reply!r}")
+        raise exception_for(
+            str(error.get("code", "internal")), str(error.get("message", ""))
+        )
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+        except OSError:  # repro: noqa RPR008 best-effort close; the fd is gone either way
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # repro: noqa RPR008 best-effort close; the fd is gone either way
+            pass
+
+    def __enter__(self) -> "JoinClient":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        """Liveness check; True when the server answers."""
+        return bool(self._rpc({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict[str, Any]:
+        """The server's counters, cache state and in-flight gauge."""
+        reply = self._rpc({"op": "stats"})
+        stats = reply.get("stats")
+        if not isinstance(stats, dict):
+            raise ProtocolError(f"malformed stats reply: {reply!r}")
+        return stats
+
+    def shutdown(self) -> bool:
+        """Ask the server to stop; True once acknowledged."""
+        return bool(self._rpc({"op": "shutdown"}).get("stopping"))
+
+    def probe(
+        self,
+        r: Relation | Iterable[Iterable[int]],
+        s: Relation | Iterable[Iterable[int]] | None = None,
+        algorithm: str = "auto",
+        bits: int | None = None,
+        probe_batches: int | None = None,
+        deadline_seconds: float | None = None,
+        max_memory_bytes: int | None = None,
+        s_ref: str | None = None,
+    ) -> dict[str, Any]:
+        """``R ⋈⊇ S`` through the server's resident index cache.
+
+        Returns the reply frame; ``reply["pairs"]`` is the sorted pair
+        list (as ``[r_id, s_id]`` lists — see :meth:`pairs` for tuples)
+        and ``reply["cache_hit"]`` says whether the index was resident.
+        ``reply["s_key"]`` is the resident index's handle: pass it back
+        as ``s_ref`` (instead of ``s``) to probe the same index again
+        without re-shipping the relation.
+        """
+        if (s is None) == (s_ref is None):
+            raise ProtocolError("pass exactly one of 's' or 's_ref'")
+        frame: dict[str, Any] = {
+            "op": "probe",
+            "r": _payload(r),
+            "algorithm": algorithm,
+        }
+        if s is not None:
+            frame["s"] = _payload(s)
+        else:
+            frame["s_ref"] = s_ref
+        if bits is not None:
+            frame["bits"] = bits
+        if probe_batches is not None:
+            frame["probe_batches"] = probe_batches
+        if deadline_seconds is not None:
+            frame["deadline_seconds"] = deadline_seconds
+        if max_memory_bytes is not None:
+            frame["max_memory_bytes"] = max_memory_bytes
+        return self._rpc(frame)
+
+    def join(
+        self,
+        r: Relation | Iterable[Iterable[int]],
+        s: Relation | Iterable[Iterable[int]],
+        algorithm: str = "auto",
+        bits: int | None = None,
+        deadline_seconds: float | None = None,
+        max_memory_bytes: int | None = None,
+    ) -> dict[str, Any]:
+        """One-shot ``R ⋈⊇ S`` on the server (no index cache)."""
+        frame: dict[str, Any] = {
+            "op": "join",
+            "r": _payload(r),
+            "s": _payload(s),
+            "algorithm": algorithm,
+        }
+        if bits is not None:
+            frame["bits"] = bits
+        if deadline_seconds is not None:
+            frame["deadline_seconds"] = deadline_seconds
+        if max_memory_bytes is not None:
+            frame["max_memory_bytes"] = max_memory_bytes
+        return self._rpc(frame)
+
+    @staticmethod
+    def pairs(reply: Mapping[str, Any]) -> list[tuple[int, int]]:
+        """A reply's pair list as sorted ``(r_id, s_id)`` tuples."""
+        return sorted((int(a), int(b)) for a, b in reply.get("pairs", ()))

@@ -1,0 +1,244 @@
+"""The join server's wire protocol: JSONL frames over a stream socket.
+
+One request per line, one reply per line, both UTF-8 JSON objects — the
+simplest protocol that supports persistent connections, pipelining and
+``nc``-friendly debugging.  The schema is documented operator-first in
+``docs/SERVER.md``; this module is the single place frames are encoded,
+decoded and validated, shared by :class:`~repro.serve.server.JoinServer`
+and :class:`~repro.serve.client.JoinClient` so the two sides cannot
+drift.
+
+Requests
+========
+
+=========  ==========================================================
+``op``     fields
+=========  ==========================================================
+``probe``  ``r`` (list of element lists) plus either ``s`` (same
+           shape) or ``s_ref`` (the ``s_key`` handle from an earlier
+           probe reply — skips re-shipping S); ``algorithm``,
+           ``bits``, governance hints (``deadline_seconds``,
+           ``max_memory_bytes``), ``probe_batches`` planner hint
+``join``   ``r``/``s`` relation, algorithm and governance fields;
+           one-shot plan + execute, no index cache
+``stats``  none — server counters, cache state, in-flight gauge
+``ping``   none — liveness check
+``shutdown``  none — ask the server to stop accepting and exit
+=========  ==========================================================
+
+Replies are ``{"id": ..., "ok": true, ...}`` or
+``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``
+with the codes from :data:`ERROR_CODES`.
+
+Relations travel as a list of element lists; record ids are assigned
+positionally (``rid = index``), exactly like
+:meth:`repro.relations.relation.Relation.from_sets`, so a payload's
+:meth:`~repro.relations.relation.Relation.fingerprint` — the index-cache
+key — is a pure function of the payload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import (
+    BudgetExceededError,
+    CancelledError,
+    DeadlineExceededError,
+    OverCapacityError,
+    ProtocolError,
+    ReproError,
+    ServeError,
+)
+from repro.relations.relation import Relation, SetRecord
+
+__all__ = [
+    "ERROR_CODES",
+    "OPS",
+    "decode_frame",
+    "encode_frame",
+    "error_code_for",
+    "error_reply",
+    "exception_for",
+    "ok_reply",
+    "relation_from_payload",
+    "relation_to_payload",
+    "validate_request",
+]
+
+#: Operations the server accepts.
+OPS = ("probe", "join", "stats", "ping", "shutdown")
+
+#: Wire error codes and the exception classes the client re-raises.
+#: ``over_capacity`` is the HTTP-429 analogue; the governance codes map
+#: one-to-one onto the typed errors of :mod:`repro.errors`.
+ERROR_CODES: dict[str, type[ReproError]] = {
+    "over_capacity": OverCapacityError,
+    "bad_request": ProtocolError,
+    "deadline_exceeded": DeadlineExceededError,
+    "cancelled": CancelledError,
+    "budget_exceeded": BudgetExceededError,
+    "internal": ServeError,
+}
+
+#: Request fields accepted per op (anything else is a schema violation —
+#: catching typos beats silently ignoring a misspelled governance bound).
+_COMMON_FIELDS = frozenset({"id", "op"})
+_JOIN_FIELDS = _COMMON_FIELDS | frozenset(
+    {
+        "r",
+        "s",
+        "algorithm",
+        "bits",
+        "probe_batches",
+        "deadline_seconds",
+        "max_memory_bytes",
+    }
+)
+_ALLOWED_FIELDS: dict[str, frozenset[str]] = {
+    "probe": _JOIN_FIELDS | frozenset({"s_ref"}),
+    "join": _JOIN_FIELDS,
+    "stats": _COMMON_FIELDS,
+    "ping": _COMMON_FIELDS,
+    "shutdown": _COMMON_FIELDS,
+}
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """One JSONL frame: compact JSON plus the line terminator."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: str | bytes) -> dict[str, Any]:
+    """Parse one received line into a frame dict.
+
+    Raises:
+        ProtocolError: If the line is not valid JSON or not an object.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not valid UTF-8: {exc}") from exc
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def validate_request(frame: Mapping[str, Any]) -> str:
+    """Check a decoded request frame against the schema; returns its op.
+
+    Raises:
+        ProtocolError: For an unknown op, an unexpected field, or a
+            missing/ill-typed relation payload.
+    """
+    op = frame.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    unexpected = set(frame) - _ALLOWED_FIELDS[op]
+    if unexpected:
+        raise ProtocolError(
+            f"unexpected field(s) {sorted(unexpected)} for op {op!r}"
+        )
+    if op in ("probe", "join"):
+        if not isinstance(frame.get("r"), list):
+            raise ProtocolError(
+                f"op {op!r} requires 'r' as a list of element lists"
+            )
+        s_payload, s_ref = frame.get("s"), frame.get("s_ref")
+        if op == "probe" and s_ref is not None:
+            if not isinstance(s_ref, str):
+                raise ProtocolError("'s_ref' must be an index-handle string")
+            if s_payload is not None:
+                raise ProtocolError("pass either 's' or 's_ref', not both")
+        elif not isinstance(s_payload, list):
+            raise ProtocolError(
+                f"op {op!r} requires 's' as a list of element lists"
+                + (" (or an 's_ref' handle)" if op == "probe" else "")
+            )
+    return op
+
+
+# ----------------------------------------------------------------------
+# Relations on the wire
+# ----------------------------------------------------------------------
+def relation_from_payload(payload: Any, name: str) -> Relation:
+    """Decode a list-of-element-lists payload into a :class:`Relation`.
+
+    Record ids are positional.  Element validation (non-negative ints)
+    is delegated to :class:`~repro.relations.relation.SetRecord`, whose
+    :class:`~repro.errors.RelationError` the server maps to
+    ``bad_request``.
+
+    Raises:
+        ProtocolError: If the payload is not a list of element lists.
+    """
+    if not isinstance(payload, list):
+        raise ProtocolError(f"relation {name!r} must be a list of element lists")
+    records = []
+    for rid, elements in enumerate(payload):
+        if not isinstance(elements, list):
+            raise ProtocolError(
+                f"relation {name!r} record {rid} must be a list of ints, "
+                f"got {type(elements).__name__}"
+            )
+        records.append(SetRecord(rid, frozenset(elements)))
+    return Relation(records, name=name)
+
+
+def relation_to_payload(relation: Relation) -> list[list[int]]:
+    """Encode a relation for the wire (inverse of positional decoding)."""
+    return [sorted(rec.elements) for rec in relation]
+
+
+# ----------------------------------------------------------------------
+# Replies
+# ----------------------------------------------------------------------
+def ok_reply(request_id: Any, **fields: Any) -> dict[str, Any]:
+    """A success reply frame echoing the request id."""
+    reply = {"id": request_id, "ok": True}
+    reply.update(fields)
+    return reply
+
+
+def error_reply(request_id: Any, code: str, message: str) -> dict[str, Any]:
+    """An error reply frame with a stable, typed code."""
+    if code not in ERROR_CODES:  # defensive: never invent codes on the wire
+        code = "internal"
+    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+
+
+def error_code_for(exc: BaseException) -> str:
+    """The wire code an exception maps to (server side).
+
+    Typed serve errors carry their own code; governance outcomes map to
+    their dedicated codes; any other :class:`~repro.errors.ReproError`
+    is the caller's fault (``bad_request``: unknown algorithm, invalid
+    relation data, bad workload hints); everything else is ``internal``.
+    """
+    if isinstance(exc, ServeError):
+        return exc.code
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline_exceeded"
+    if isinstance(exc, CancelledError):
+        return "cancelled"
+    if isinstance(exc, BudgetExceededError):
+        return "budget_exceeded"
+    if isinstance(exc, ReproError):
+        return "bad_request"
+    return "internal"
+
+
+def exception_for(code: str, message: str) -> ReproError:
+    """The typed exception a wire code maps to (client side)."""
+    return ERROR_CODES.get(code, ServeError)(message)

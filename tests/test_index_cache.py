@@ -1,0 +1,297 @@
+"""Property-based tests for the serving cache and the relation fingerprint.
+
+The :class:`~repro.serve.cache.IndexCache` is the join server's only
+stateful policy, so it gets the model-checking treatment: hypothesis
+drives random ``get``/``put``/clock-advance sequences against a plain
+dict-plus-timestamps model and the two must agree on every lookup, the
+LRU order, and the eviction count.  Time never sleeps — expiry is driven
+entirely through the injected clock seam (the production default is
+:func:`repro.obs.clock.monotonic`; here a counter stands in for it).
+
+:meth:`Relation.fingerprint() <repro.relations.relation.Relation.fingerprint>`
+is the cache key, so its contract is pinned here too: invariant under
+record *insertion order* (the hash canonicalizes on rids), sensitive to
+every kind of content change (element edits, record add/drop, rid
+reassignment), and indifferent to presentation metadata (``name``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlgorithmError
+from repro.obs.metrics import MetricsRegistry
+from repro.relations.relation import Relation, SetRecord
+from repro.serve.cache import IndexCache, index_key
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock (the no-sleeps TTL seam)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Model-based cache checking
+# ----------------------------------------------------------------------
+KEYS = st.sampled_from([f"k{i}" for i in range(6)])
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("get"), KEYS),
+        st.tuples(st.just("put"), KEYS),
+        st.tuples(st.just("advance"), st.floats(min_value=0.25, max_value=3.0)),
+        st.tuples(st.just("evict_expired"), st.none()),
+    ),
+    max_size=60,
+)
+
+
+class CacheModel:
+    """The obvious reference implementation: dict + insertion timestamps."""
+
+    def __init__(self, capacity: int, ttl: float | None, clock: FakeClock) -> None:
+        self.capacity = capacity
+        self.ttl = ttl
+        self.clock = clock
+        self.entries: OrderedDict[str, tuple[object, float]] = OrderedDict()
+        self.evictions = 0
+        self.expirations = 0
+
+    def _expired(self, key: str) -> bool:
+        _, expires_at = self.entries[key]
+        return expires_at <= self.clock()
+
+    def get(self, key: str) -> object | None:
+        if key not in self.entries:
+            return None
+        if self._expired(key):
+            del self.entries[key]
+            self.expirations += 1
+            return None
+        self.entries.move_to_end(key)
+        return self.entries[key][0]
+
+    def put(self, key: str, value: object) -> None:
+        if key in self.entries:
+            del self.entries[key]
+        expires_at = float("inf") if self.ttl is None else self.clock() + self.ttl
+        self.entries[key] = (value, expires_at)
+        while len(self.entries) > self.capacity:
+            self.entries.popitem(last=False)
+            self.evictions += 1
+
+    def evict_expired(self) -> int:
+        stale = [k for k in self.entries if self._expired(k)]
+        for key in stale:
+            del self.entries[key]
+        self.expirations += len(stale)
+        return len(stale)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=OPS,
+    capacity=st.integers(min_value=1, max_value=4),
+    ttl=st.one_of(st.none(), st.floats(min_value=0.5, max_value=4.0)),
+)
+def test_cache_agrees_with_model(ops, capacity, ttl):
+    """Random op sequences: cache and model agree on everything visible."""
+    clock = FakeClock()
+    registry = MetricsRegistry()
+    cache = IndexCache(capacity, ttl_seconds=ttl, clock=clock, registry=registry)
+    model = CacheModel(capacity, ttl, clock)
+    counter = 0
+    for op, arg in ops:
+        if op == "get":
+            assert cache.get(arg) == model.get(arg)
+        elif op == "put":
+            counter += 1
+            cache.put(arg, counter)
+            model.put(arg, counter)
+        elif op == "advance":
+            clock.advance(arg)
+        else:
+            assert cache.evict_expired() == model.evict_expired()
+        # Invariants after every step:
+        assert len(cache) <= capacity, "capacity bound violated"
+        assert cache.keys() == tuple(model.entries), "LRU order diverged"
+    snapshot = registry.snapshot()
+    assert snapshot["cache.evictions"] == model.evictions
+    assert snapshot["cache.expirations"] == model.expirations
+    assert snapshot["cache.size"] == len(model.entries)
+    assert snapshot["cache.hits"] + snapshot["cache.misses"] == sum(
+        1 for op, _ in ops if op == "get"
+    )
+
+
+def test_ttl_expiry_without_sleeping():
+    clock = FakeClock()
+    cache = IndexCache(4, ttl_seconds=10.0, clock=clock)
+    cache.put("a", 1)
+    clock.advance(9.999)
+    assert cache.get("a") == 1, "entry must survive until the TTL"
+    clock.advance(0.001)
+    assert cache.get("a") is None, "entry must expire exactly at the TTL"
+    assert len(cache) == 0
+    # Replacement resets the TTL from the write instant.
+    cache.put("a", 2)
+    clock.advance(9.0)
+    cache.put("a", 3)
+    clock.advance(9.0)
+    assert cache.get("a") == 3
+
+
+def test_lru_hit_refreshes_recency_but_not_ttl():
+    clock = FakeClock()
+    cache = IndexCache(2, ttl_seconds=10.0, clock=clock)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # a is now most recent
+    cache.put("c", 3)  # evicts b, the least recently used
+    assert cache.keys() == ("a", "c")
+    clock.advance(10.0)
+    assert cache.get("a") is None, "a hit must not extend the TTL"
+
+
+def test_get_or_build_single_build_and_hit_accounting():
+    registry = MetricsRegistry()
+    cache = IndexCache(4, registry=registry)
+    builds = []
+
+    def builder():
+        builds.append(1)
+        return "value"
+
+    value, hit = cache.get_or_build("k", builder)
+    assert (value, hit) == ("value", False)
+    value, hit = cache.get_or_build("k", builder)
+    assert (value, hit) == ("value", True)
+    assert len(builds) == 1
+    snapshot = registry.snapshot()
+    assert snapshot["cache.misses"] == 1.0, "singleflight must not double-count"
+    assert snapshot["cache.hits"] == 1.0
+
+
+def test_get_or_build_concurrent_misses_build_once():
+    registry = MetricsRegistry()
+    cache = IndexCache(4, registry=registry)
+    builds = []
+    gate = threading.Event()
+
+    def builder():
+        gate.wait(timeout=10)
+        builds.append(1)
+        return "value"
+
+    results = []
+    threads = [
+        threading.Thread(target=lambda: results.append(cache.get_or_build("k", builder)))
+        for _ in range(6)
+    ]
+    for t in threads:
+        t.start()
+    gate.set()
+    for t in threads:
+        t.join(timeout=30)
+    assert len(builds) == 1, "concurrent misses on one key must coalesce"
+    assert all(value == "value" for value, _ in results)
+    assert sum(1 for _, hit in results if not hit) == 1
+
+
+def test_failing_builder_installs_nothing_and_retries():
+    cache = IndexCache(4)
+    attempts = []
+
+    def failing():
+        attempts.append(1)
+        raise AlgorithmError("boom")
+
+    with pytest.raises(AlgorithmError):
+        cache.get_or_build("k", failing)
+    assert len(cache) == 0
+    value, hit = cache.get_or_build("k", lambda: "ok")
+    assert (value, hit) == ("ok", False)
+    assert len(attempts) == 1
+
+
+def test_cache_rejects_bad_configuration():
+    with pytest.raises(AlgorithmError):
+        IndexCache(0)
+    with pytest.raises(AlgorithmError):
+        IndexCache(4, ttl_seconds=0.0)
+
+
+# ----------------------------------------------------------------------
+# Relation.fingerprint(): the cache-key contract
+# ----------------------------------------------------------------------
+RECORDS = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=50),
+    values=st.frozensets(st.integers(min_value=0, max_value=30), max_size=6),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(records=RECORDS, seed=st.randoms(use_true_random=False))
+def test_fingerprint_invariant_under_record_order(records, seed):
+    items = [SetRecord(rid, elements) for rid, elements in records.items()]
+    shuffled = list(items)
+    seed.shuffle(shuffled)
+    a = Relation(items, name="first")
+    b = Relation(shuffled, name="second")  # name must not matter either
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint().startswith("rf1:")
+
+
+@settings(max_examples=150, deadline=None)
+@given(records=RECORDS, data=st.data())
+def test_fingerprint_changes_with_content(records, data):
+    base = Relation.from_mapping(records)
+    rid = data.draw(st.sampled_from(sorted(records)))
+    mutation = data.draw(st.sampled_from(["element", "drop", "reid"]))
+    changed = dict(records)
+    if mutation == "element":
+        # Toggle one element in one record's set.
+        element = data.draw(st.integers(min_value=0, max_value=31))
+        changed[rid] = changed[rid] ^ {element}
+    elif mutation == "drop":
+        del changed[rid]
+        if not changed:
+            changed[rid + 100] = frozenset({0})
+    else:
+        new_rid = max(records) + 1 + data.draw(st.integers(min_value=0, max_value=5))
+        changed[new_rid] = changed.pop(rid)
+    assert Relation.from_mapping(changed).fingerprint() != base.fingerprint()
+
+
+def test_fingerprint_is_memoized_and_stable():
+    relation = Relation.from_sets([{1, 2}, {3}])
+    first = relation.fingerprint()
+    assert relation.fingerprint() is first  # memoized, not recomputed
+    assert first == Relation.from_sets([{2, 1}, {3}]).fingerprint()
+
+
+def test_index_key_separates_algorithm_and_bits():
+    s = Relation.from_sets([{1, 2}, {3}])
+    keys = {
+        index_key(s, "ptsj"),
+        index_key(s, "ptsj", bits=512),
+        index_key(s, "ptsj", bits=1024),
+        index_key(s, "pretti+"),
+    }
+    assert len(keys) == 4, "algorithm/bits must partition the key space"
+    assert all(key.startswith(s.fingerprint()) for key in keys)

@@ -270,6 +270,60 @@ class TestMetricsRegistry:
         result.stats.snapshot_registry(registry)
         assert result.stats.extras["metric.pairs"] == len(result)
 
+    def test_thread_hammer_drops_no_updates(self):
+        """Regression: registry mutation is lock-guarded, so the join
+        server's concurrent request threads can share one registry
+        without losing increments (pre-fix, ``value += n`` raced)."""
+        import threading
+
+        registry = MetricsRegistry()
+        threads_n, updates = 8, 5000
+        barrier = threading.Barrier(threads_n)
+
+        def hammer(worker: int) -> None:
+            barrier.wait(timeout=30)
+            for i in range(updates):
+                # Same instrument names from every thread: maximum contention.
+                registry.counter("hits").inc()
+                registry.gauge("inflight").add(1 if i % 2 == 0 else -1)
+                registry.histogram("latency").observe(1.0)
+                registry.counter(f"per.{worker}").inc(2)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        snap = registry.snapshot()
+        assert snap["hits"] == threads_n * updates
+        assert snap["inflight"] == 0.0  # +1/-1 pairs cancel exactly
+        assert snap["latency.count"] == threads_n * updates
+        assert snap["latency.sum"] == pytest.approx(threads_n * updates)
+        assert snap["latency.min"] == snap["latency.max"] == 1.0
+        for worker in range(threads_n):
+            assert snap[f"per.{worker}"] == 2 * updates
+
+    def test_histogram_concurrent_observe_keeps_fields_consistent(self):
+        import threading
+
+        hist = MetricsRegistry().histogram("t")
+        values = [0.5, 1.5]
+
+        def observe(value: float) -> None:
+            for _ in range(4000):
+                hist.observe(value)
+
+        threads = [threading.Thread(target=observe, args=(v,)) for v in values]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert hist.count == 8000
+        assert hist.total == pytest.approx(8000.0)
+        assert (hist.min, hist.max) == (0.5, 1.5)
+
 
 # ----------------------------------------------------------------------
 # JSONL export

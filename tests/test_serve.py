@@ -1,0 +1,429 @@
+"""Concurrency and chaos suite for the join server (:mod:`repro.serve`).
+
+This is the first layer of the reproduction where concurrency is the
+product, so the suite leans on load rather than single calls:
+
+* **Parity under load** — N threaded clients fire mixed cached/uncached
+  probe and join requests; every reply must be bit-for-bit identical to
+  the inline :func:`set_containment_join` oracle, and the shared-S
+  traffic must actually hit the resident index cache.
+* **Hygiene** — after ``stop()`` no server thread, connection socket or
+  spill file survives, whichever multiprocessing start method the run
+  pins (CI runs this file under ``REPRO_START_METHOD=fork`` and
+  ``spawn`` with ``REPRO_SANITIZE=1``).
+* **Chaos drills** — a mid-request cancel-token trip, a deadline breach,
+  a poisoned (malformed) request and an admission-control rejection each
+  produce their *typed* error reply and leave the server fully usable.
+
+The server binds loopback on an ephemeral port, so tests never collide.
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+import os
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.core.registry import set_containment_join
+from repro.errors import (
+    CancelledError,
+    DeadlineExceededError,
+    OverCapacityError,
+    ProtocolError,
+)
+from repro.governance.policy import GovernancePolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import JoinClient, JoinServer
+from repro.testing.faults import CountdownCancelToken
+
+from tests.conftest import oracle_pairs, random_relation
+
+#: CI pins the start method (fork/spawn); locally the platform default
+#: applies.  The server itself is thread-based — this suite asserts its
+#: hygiene holds regardless of how sibling process pools would start.
+START_METHOD = os.environ.get("REPRO_START_METHOD") or None
+if START_METHOD is not None and START_METHOD not in multiprocessing.get_all_start_methods():
+    pytest.skip(f"start method {START_METHOD} unavailable", allow_module_level=True)
+
+
+def _spill_files() -> set[str]:
+    """Temp-dir entries a leaked disk-partitioned join would leave."""
+    return set(glob.glob(os.path.join(tempfile.gettempdir(), "repro*")))
+
+
+@pytest.fixture
+def server():
+    """A started server with a fresh registry; guarantees clean stop."""
+    threads_before = set(threading.enumerate())
+    spills_before = _spill_files()
+    srv = JoinServer(max_connections=8, cache_capacity=8)
+    srv.start()
+    try:
+        yield srv
+    finally:
+        srv.stop()
+    # Hygiene: every accept/pool thread joined, every connection closed,
+    # no spill files abandoned — regardless of how the test ended.
+    leaked = set(threading.enumerate()) - threads_before
+    assert not leaked, f"leaked threads: {[t.name for t in leaked]}"
+    assert not srv._connections, "leaked connection sockets"
+    assert _spill_files() == spills_before, "leaked spill files"
+
+
+def _client(srv: JoinServer) -> JoinClient:
+    assert srv.address is not None
+    return JoinClient(address=srv.address)
+
+
+# ----------------------------------------------------------------------
+# Parity under concurrent load
+# ----------------------------------------------------------------------
+def test_concurrent_clients_match_oracle_and_share_cache(server):
+    """8 threaded clients, mixed shared/unique S: oracle parity + hits."""
+    clients = 8
+    requests_each = 5
+    # Two S relations shared by all clients (cache hits) plus one unique
+    # S per client (cache misses); R varies per request.
+    shared_s = [
+        random_relation(60, 5, 40, seed=100 + i, min_cardinality=1)
+        for i in range(2)
+    ]
+    failures: list[str] = []
+    barrier = threading.Barrier(clients)
+
+    def worker(worker_id: int) -> None:
+        try:
+            unique_s = random_relation(40, 5, 40, seed=500 + worker_id, min_cardinality=1)
+            with _client(server) as client:
+                barrier.wait(timeout=30)
+                for i in range(requests_each):
+                    r = random_relation(50, 8, 40, seed=worker_id * 97 + i)
+                    s = shared_s[i % 2] if i % 2 == 0 or i % 3 else unique_s
+                    algorithm = ("auto", "ptsj", "pretti+")[i % 3]
+                    reply = client.probe(r, s, algorithm=algorithm)
+                    got = JoinClient.pairs(reply)
+                    expected = sorted(
+                        set_containment_join(r, s, algorithm=algorithm).pairs
+                    )
+                    if got != expected:
+                        failures.append(
+                            f"worker {worker_id} request {i}: {len(got)} pairs "
+                            f"!= oracle {len(expected)}"
+                        )
+        except Exception as exc:  # surfaced below; threads must not die silently
+            failures.append(f"worker {worker_id}: {type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not failures, failures
+    snapshot = server.registry.snapshot()
+    assert snapshot.get("cache.hits", 0) > 0, "shared-S traffic never hit the cache"
+    assert snapshot.get("cache.misses", 0) > 0
+    assert snapshot["server.requests.probe"] == clients * requests_each
+    assert snapshot.get("server.errors.internal", 0) == 0
+
+
+def test_join_op_matches_oracle_and_probe_agrees_with_join(server):
+    r = random_relation(80, 8, 50, seed=1)
+    s = random_relation(60, 5, 50, seed=2, min_cardinality=1)
+    with _client(server) as client:
+        join_reply = client.join(r, s, algorithm="ptsj")
+        probe_reply = client.probe(r, s, algorithm="ptsj")
+    expected = sorted(oracle_pairs(r, s))
+    assert JoinClient.pairs(join_reply) == expected
+    assert JoinClient.pairs(probe_reply) == expected
+    assert join_reply["algorithm"] == "ptsj"
+    assert join_reply["cache_hit"] is False
+
+
+def test_repeat_probe_hits_cache_and_reuses_index(server):
+    r = random_relation(30, 6, 30, seed=3)
+    s = random_relation(30, 4, 30, seed=4, min_cardinality=1)
+    with _client(server) as client:
+        first = client.probe(r, s, algorithm="ptsj")
+        second = client.probe(r, s, algorithm="ptsj")
+    assert first["cache_hit"] is False
+    assert second["cache_hit"] is True
+    assert JoinClient.pairs(first) == JoinClient.pairs(second)
+
+
+def test_probe_by_handle_skips_reshipping_s(server):
+    r = random_relation(30, 6, 30, seed=22)
+    s = random_relation(30, 4, 30, seed=23, min_cardinality=1)
+    with _client(server) as client:
+        cold = client.probe(r, s, algorithm="ptsj")
+        by_handle = client.probe(r, s_ref=cold["s_key"])
+        assert by_handle["cache_hit"] is True
+        assert JoinClient.pairs(by_handle) == JoinClient.pairs(cold)
+        assert by_handle["s_key"] == cold["s_key"]
+        assert by_handle["algorithm"] == "ptsj"
+        # An unknown/evicted handle is a typed bad_request telling the
+        # client to resend S — never a silent rebuild of nothing.
+        with pytest.raises(ProtocolError):
+            client.probe(r, s_ref="rf1:deadbeef|ptsj")
+        # Handle and payload are mutually exclusive, both ways.
+        with pytest.raises(ProtocolError):
+            client.probe(r)
+        with pytest.raises(ProtocolError):
+            client.send_raw(
+                b'{"op":"probe","r":[[1]],"s":[[1]],"s_ref":"x"}\n'
+            )
+        assert client.ping()
+
+
+def test_cache_capacity_one_evicts_under_alternating_s(server):
+    small = JoinServer(cache_capacity=1)
+    small.start()
+    try:
+        r = random_relation(20, 5, 25, seed=5)
+        s_a = random_relation(15, 4, 25, seed=6, min_cardinality=1)
+        s_b = random_relation(15, 4, 25, seed=7, min_cardinality=1)
+        with _client(small) as client:
+            for _ in range(3):
+                client.probe(r, s_a, algorithm="ptsj")
+                client.probe(r, s_b, algorithm="ptsj")
+            stats = client.stats()
+    finally:
+        small.stop()
+    assert stats["metrics"]["cache.evictions"] >= 4
+    assert stats["cache"]["size"] == 1
+
+
+# ----------------------------------------------------------------------
+# The stats surface
+# ----------------------------------------------------------------------
+def test_stats_exposes_cache_counters_inflight_and_latency(server):
+    r = random_relation(20, 5, 25, seed=8)
+    s = random_relation(15, 4, 25, seed=9, min_cardinality=1)
+    with _client(server) as client:
+        client.probe(r, s)
+        client.probe(r, s)
+        stats = client.stats()
+    metrics = stats["metrics"]
+    assert metrics["cache.hits"] == 1.0
+    assert metrics["cache.misses"] == 1.0
+    assert metrics["cache.evictions"] == 0.0  # instruments exist from start
+    assert metrics["server.request_seconds.count"] == 2.0
+    assert metrics["server.request_seconds.sum"] > 0.0
+    assert metrics["server.request_seconds.max"] >= metrics["server.request_seconds.min"]
+    assert metrics["server.inflight"] == 0.0
+    assert stats["inflight"] == 0
+    assert stats["max_inflight"] == server.max_inflight
+    assert stats["cache"]["capacity"] == 8
+    # The per-request tracer mirrors join counters into the registry.
+    assert metrics.get("pairs", 0) >= 0
+    assert stats["uptime_seconds"] >= 0.0
+
+
+def test_probe_reply_carries_span_phases(server):
+    r = random_relation(20, 5, 25, seed=10)
+    s = random_relation(15, 4, 25, seed=11, min_cardinality=1)
+    with _client(server) as client:
+        cold = client.probe(r, s, algorithm="ptsj")
+        warm = client.probe(r, s, algorithm="ptsj")
+    assert "build" in cold["phases"], cold["phases"]
+    assert "probe" in cold["phases"]
+    assert "build" not in warm["phases"], "cache hit must not rebuild"
+    assert warm["seconds"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Chaos drills
+# ----------------------------------------------------------------------
+def test_poisoned_request_gets_error_reply_and_connection_survives(server):
+    r = random_relation(10, 4, 20, seed=12)
+    s = random_relation(10, 3, 20, seed=13, min_cardinality=1)
+    with _client(server) as client:
+        with pytest.raises(ProtocolError):
+            client.send_raw(b"{this is not json\n")
+        with pytest.raises(ProtocolError):
+            client.send_raw(b'"a bare string, not an object"\n')
+        with pytest.raises(ProtocolError):
+            client.send_raw(b'{"op": "probe", "r": 7, "s": []}\n')
+        with pytest.raises(ProtocolError):
+            client.send_raw(b'{"op": "nope"}\n')
+        with pytest.raises(ProtocolError):
+            client.send_raw(b'{"op": "ping", "surprise": 1}\n')
+        # The same connection keeps working after every poisoned line.
+        reply = client.probe(r, s)
+        assert JoinClient.pairs(reply) == sorted(oracle_pairs(r, s))
+    assert server.registry.snapshot()["server.errors.bad_request"] == 5.0
+
+
+def test_unknown_algorithm_is_bad_request_not_connection_loss(server):
+    with _client(server) as client:
+        with pytest.raises(Exception) as excinfo:
+            client.probe([[1, 2]], [[1]], algorithm="quantum")
+        assert "unknown algorithm" in str(excinfo.value)
+        assert client.ping()
+
+
+def test_midrequest_cancel_trip_is_typed_and_server_survives():
+    policy = GovernancePolicy(
+        cancel=CountdownCancelToken(after_checks=2), poll_interval=1
+    )
+    srv = JoinServer(default_policy=policy)
+    srv.start()
+    try:
+        r = random_relation(40, 6, 30, seed=14)
+        s = random_relation(40, 4, 30, seed=15, min_cardinality=1)
+        with _client(srv) as client:
+            with pytest.raises(CancelledError):
+                client.probe(r, s, algorithm="ptsj")
+            # The request thread's policy was scoped to the request:
+            # control ops on the same connection still work.
+            assert client.ping()
+            stats = client.stats()
+        assert stats["metrics"]["server.errors.cancelled"] == 1.0
+        assert stats["inflight"] == 0
+    finally:
+        srv.stop()
+
+
+def test_deadline_breach_is_typed_and_next_request_succeeds(server):
+    r = random_relation(40, 6, 30, seed=16)
+    s = random_relation(40, 4, 30, seed=17, min_cardinality=1)
+    with _client(server) as client:
+        with pytest.raises(DeadlineExceededError):
+            client.probe(r, s, algorithm="ptsj", deadline_seconds=1e-9)
+        # Same connection, no deadline: full service resumes.
+        reply = client.probe(r, s, algorithm="ptsj")
+        assert JoinClient.pairs(reply) == sorted(oracle_pairs(r, s))
+    snapshot = server.registry.snapshot()
+    assert snapshot["server.errors.deadline_exceeded"] == 1.0
+    assert snapshot["server.inflight"] == 0.0
+
+
+def test_failed_build_caches_nothing(server):
+    r = random_relation(10, 4, 20, seed=18)
+    s = random_relation(10, 3, 20, seed=19, min_cardinality=1)
+    with _client(server) as client:
+        with pytest.raises(DeadlineExceededError):
+            client.probe(r, s, algorithm="ptsj", deadline_seconds=1e-9)
+        assert len(server.cache) == 0
+        # The retry (no deadline) builds and serves normally.
+        reply = client.probe(r, s, algorithm="ptsj")
+        assert reply["cache_hit"] is False
+        assert JoinClient.pairs(reply) == sorted(oracle_pairs(r, s))
+
+
+def test_admission_rejection_is_typed_and_decrements_inflight():
+    release = threading.Event()
+    entered = threading.Event()
+
+    def hook(frame):
+        # Hold the first probe's admission slot until the test releases it.
+        entered.set()
+        assert release.wait(timeout=30)
+
+    srv = JoinServer(max_inflight=1, request_hook=hook)
+    srv.start()
+    try:
+        r = random_relation(10, 4, 20, seed=20)
+        s = random_relation(10, 3, 20, seed=21, min_cardinality=1)
+        results: list = []
+
+        def slow_request():
+            with _client(srv) as client:
+                results.append(client.probe(r, s))
+
+        blocker = threading.Thread(target=slow_request)
+        blocker.start()
+        assert entered.wait(timeout=30), "first request never admitted"
+        with _client(srv) as client:
+            # stats is admission-exempt: a saturated server stays observable.
+            assert client.stats()["inflight"] == 1
+            with pytest.raises(OverCapacityError):
+                client.probe(r, s)
+            stats = client.stats()
+            assert stats["inflight"] == 1, "rejection must not leak a slot"
+            assert stats["metrics"]["server.rejected"] == 1.0
+        srv.request_hook = None
+        release.set()
+        blocker.join(timeout=30)
+        assert results and JoinClient.pairs(results[0]) == sorted(oracle_pairs(r, s))
+        with _client(srv) as client:
+            assert client.stats()["inflight"] == 0
+            assert JoinClient.pairs(client.probe(r, s)) == sorted(oracle_pairs(r, s))
+    finally:
+        release.set()
+        srv.stop()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+def test_shutdown_op_stops_the_server():
+    srv = JoinServer()
+    srv.start()
+    try:
+        with _client(srv) as client:
+            assert client.ping()
+            assert client.shutdown()
+        assert srv.wait(timeout=10), "shutdown request never signalled stop"
+    finally:
+        srv.stop()
+    with pytest.raises(OSError):
+        _client(srv)
+
+
+def test_stop_is_idempotent_and_context_manager_cleans_up():
+    threads_before = set(threading.enumerate())
+    with JoinServer() as srv:
+        with _client(srv) as client:
+            assert client.ping()
+    srv.stop()  # second stop: no-op
+    assert set(threading.enumerate()) - threads_before == set()
+
+
+def test_shared_registry_survives_across_servers():
+    registry = MetricsRegistry()
+    for _ in range(2):
+        with JoinServer(registry=registry) as srv:
+            with _client(srv) as client:
+                client.ping()
+    assert registry.snapshot()["server.requests.ping"] == 2.0
+
+
+def test_cli_serve_subcommand_round_trip(capsys):
+    """`repro-scj serve` starts, serves and stops via a shutdown request."""
+    import re
+
+    from repro.cli import main
+
+    rc: list[int] = []
+
+    def run():
+        rc.append(main(["serve", "--port", "0", "--cache-capacity", "4"]))
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    address = None
+    seen = ""
+    try:
+        for _ in range(400):
+            seen += capsys.readouterr().out
+            match = re.search(r"serving on ([\d.]+):(\d+)", seen)
+            if match:
+                address = (match.group(1), int(match.group(2)))
+                break
+            if not thread.is_alive():
+                break
+            time.sleep(0.025)
+        assert address is not None, "serve never announced its address"
+        with JoinClient(address=address) as client:
+            reply = client.probe([[1, 2, 3], [2, 4]], [[2], [1, 3], [4, 5]])
+            assert JoinClient.pairs(reply) == [(0, 0), (0, 1), (1, 0)]
+            assert client.shutdown()
+    finally:
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert rc == [0]
