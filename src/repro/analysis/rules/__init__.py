@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.analysis.rules import (
     clocks,
     counters,
+    dependencies,
     determinism,
     governance,
     hygiene,
@@ -32,6 +33,7 @@ ALL_RULES = tuple(
             *determinism.RULES,
             *counters.RULES,
             *governance.RULES,
+            *dependencies.RULES,
         ),
         key=lambda rule: rule.id,
     )

@@ -1,0 +1,60 @@
+"""RPR010 — numpy stays behind the kernel layer.
+
+numpy is an *optional* accelerator dependency: the package must import,
+plan and join on a stdlib-only host (docs/KERNELS.md).  The two places
+allowed to import it are :mod:`repro.kernels` (the numpy backend, behind
+a guarded import and :class:`~repro.kernels.base.KernelUnavailableError`)
+and :mod:`repro.datagen` (dataset synthesis, an offline tool that has
+depended on numpy's generators since PR 1).  A numpy import anywhere
+else either makes a hot path silently backend-dependent — bypassing the
+registry, the ``REPRO_KERNEL`` override and the parity suites — or turns
+the whole package into a hard numpy dependency.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, Violation
+
+#: Packages allowed to import numpy: the kernel backends own vectorized
+#: compute, the data generators own synthesis.
+ALLOWED_PACKAGES = ("repro.kernels", "repro.datagen")
+
+
+def _is_numpy(module: str | None) -> bool:
+    return module is not None and (module == "numpy" or module.startswith("numpy."))
+
+
+def check_numpy_containment(rule: Rule, ctx: ModuleContext) -> Iterator[Violation]:
+    if ctx.in_package(*ALLOWED_PACKAGES):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_numpy(alias.name):
+                    yield ctx.violation(
+                        rule, node, f"numpy import '{alias.name}' outside repro.kernels"
+                    )
+        elif isinstance(node, ast.ImportFrom) and _is_numpy(node.module):
+            yield ctx.violation(
+                rule,
+                node,
+                f"numpy import 'from {node.module} import ...' outside repro.kernels",
+            )
+
+
+RULES = (
+    Rule(
+        id="RPR010",
+        title="numpy import outside repro.kernels / repro.datagen",
+        rationale="numpy is optional; vectorized compute must go through "
+        "the kernel backend registry so the REPRO_KERNEL override, the "
+        "pure-Python fallback and the parity suites keep covering every "
+        "hot path, and stdlib-only hosts keep working.",
+        fixit="route batch work through repro.kernels.get_backend() (or add "
+        "a backend) instead of importing numpy directly",
+        check=check_numpy_containment,
+    ),
+)

@@ -33,6 +33,7 @@ from repro.core.base import CandidateGroup, JoinStats
 from repro.core.framework import SignatureJoinBase
 from repro.errors import AlgorithmError
 from repro.governance.policy import governor
+from repro.kernels import KernelBackend, SignaturePack, get_backend
 from repro.relations.relation import Relation
 from repro.signatures.bitmap import bit_segment
 
@@ -118,6 +119,8 @@ class SHJ(SignatureJoinBase):
         self.partial_cap = partial_cap
         self.partial_bits = 0
         self.buckets: dict[int, list[_Entry]] = {}
+        self.bucket_packs: dict[int, SignaturePack] = {}
+        self._kernel: KernelBackend | None = None
 
     def _choose_bits(self, r: Relation | None, s: Relation) -> int:
         if self.requested_bits is not None:
@@ -154,18 +157,36 @@ class SHJ(SignatureJoinBase):
             else:
                 bucket.append(entry)
         self.buckets = buckets
+        # Pack each bucket's full signatures once: probing then filters a
+        # whole bucket with one kernel call instead of a per-entry loop.
+        # The backend is captured here so the index stays internally
+        # consistent even if the process default changes later.
+        kernel = get_backend()
+        self._kernel = kernel
+        self.bucket_packs = {
+            key: kernel.pack_signatures([e.signature for e in bucket], bits)
+            for key, bucket in buckets.items()
+        }
         stats.index_nodes = len(buckets)
 
     def _enumerate_groups(self, signature: int, stats: JoinStats) -> Iterator[list[CandidateGroup]]:
         """SHJENUM (Algorithm 2): submask enumeration + bucket filtering.
 
-        Every submask of the probe's partial signature is looked up; bucket
-        entries then pass the full-signature ``⊑`` filter before the shared
-        verify loop compares actual sets.
+        Every submask of the probe's partial signature is looked up; each
+        hit bucket's packed full signatures then pass the batched ``⊑``
+        kernel filter (one call per bucket, not one check per entry)
+        before the shared verify loop compares actual sets.  Counters and
+        yield order are bit-identical to the historical per-entry loop:
+        ``bucket_entries_scanned`` counts every entry of every hit bucket
+        and survivors come out in entry order.
         """
         bits = self.scheme.bits  # type: ignore[union-attr]
         mask = bit_segment(signature, 0, self.partial_bits, bits)
         buckets = self.buckets
+        packs = self.bucket_packs
+        kernel = self._kernel
+        assert kernel is not None
+        filter_batch = kernel.filter_subset_batch
         enumerations = 0
         filtered = 0
         for sub in iter_submasks(mask):
@@ -173,9 +194,8 @@ class SHJ(SignatureJoinBase):
             bucket = buckets.get(sub)
             if bucket is None:
                 continue
-            for entry in bucket:
-                filtered += 1
-                if entry.signature & ~signature == 0:
-                    yield [entry.group]
+            filtered += len(bucket)
+            for idx in filter_batch(packs[sub], signature):
+                yield [bucket[idx].group]
         stats.extras["submask_enumerations"] = stats.extras.get("submask_enumerations", 0) + enumerations
         stats.extras["bucket_entries_scanned"] = stats.extras.get("bucket_entries_scanned", 0) + filtered

@@ -10,7 +10,12 @@ Subcommands:
   each with cost estimates and rejected alternatives);
 * ``probe`` — build one index, then probe it with several query files
   (the build-once/probe-many serving path);
+* ``backends`` — list the batch-kernel backends (docs/KERNELS.md) and
+  which one the process selected;
 * ``bench`` — run one of the paper's experiments and print its figure.
+
+``join``/``probe``/``explain``/``serve`` accept ``--backend NAME`` to
+pin the kernel backend for the run (equivalent to ``REPRO_KERNEL``).
 
 Examples::
 
@@ -18,9 +23,11 @@ Examples::
     repro-scj generate --dataset flickr --size 2000 -o flickr.txt
     repro-scj stats r.txt
     repro-scj join r.txt s.txt --algorithm ptsj
+    repro-scj join r.txt s.txt --algorithm shj --backend numpy
     repro-scj explain r.txt s.txt
     repro-scj join r.txt s.txt --plan auto --workers 4 --explain
     repro-scj probe s.txt queries1.txt queries2.txt --algorithm ptsj
+    repro-scj backends
     repro-scj bench fig6c
 """
 
@@ -103,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sample tracemalloc peaks per span "
                               "(implies tracing overhead)")
 
+    def add_backend(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--backend", default=None, metavar="NAME",
+                         help="kernel backend for batch probe kernels "
+                              "(python, numpy, ...); default: REPRO_KERNEL "
+                              "or auto-selection — see `repro-scj backends` "
+                              "and docs/KERNELS.md")
+
     def add_workload(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--workers", type=int, default=1,
                          help="worker processes available to the planner; "
@@ -159,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="plan a prepare-once/probe-many workload of N "
                               "probe batches instead of a one-shot join")
     add_workload(explain)
+    add_backend(explain)
     explain.add_argument("--json", action="store_true",
                          help="print the serialized plan as JSON instead of "
                               "the tree")
@@ -205,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--explain", action="store_true",
                       help="print the planner's decision tree before running")
     add_workload(join)
+    add_backend(join)
     join.add_argument("-o", "--output", help="write pairs to this file")
     add_observability(join)
 
@@ -220,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--bits", type=int, default=None,
                        help="signature length override (signature algorithms)")
     add_on_error(probe)
+    add_backend(probe)
     probe.add_argument("-o", "--output",
                        help="write the pairs of every batch to this file")
     add_observability(probe)
@@ -262,6 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "deadline_seconds overrides)")
     serve.add_argument("--max-memory", type=int, default=None, metavar="BYTES",
                        help="default per-request index-build memory budget")
+    add_backend(serve)
+
+    sub.add_parser(
+        "backends",
+        help="list the batch-kernel backends and which one is selected "
+             "(docs/KERNELS.md)")
 
     bench = sub.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
@@ -397,7 +420,43 @@ def _policy_from_args(args: argparse.Namespace):
     )
 
 
+def _apply_backend(args: argparse.Namespace) -> None:
+    """Pin the kernel backend named by ``--backend``, if any.
+
+    Validation is eager: an unknown or unavailable backend raises
+    :class:`~repro.kernels.base.KernelUnavailableError` (a
+    :class:`ReproError`) here, so ``main`` prints a clean error and
+    exits 2 before any dataset is read.
+    """
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from repro.kernels import set_default_backend
+
+        set_default_backend(backend)
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro import kernels
+
+    active = kernels.active_backend_name()
+    source = kernels.backend_source()
+    rows = []
+    for name in kernels.registered_backends():
+        try:
+            kernels.get_backend(name)
+        except kernels.KernelUnavailableError:
+            availability = "no"
+        else:
+            availability = "yes"
+        marker = f"active ({source})" if name == active else ""
+        rows.append((name, availability, marker))
+    print(reporting.format_table(
+        ("backend", "available", "selected"), rows, title="kernel backends"))
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
+    _apply_backend(args)
     r = _read_dataset(args.r, args.on_error)
     s = _read_dataset(args.s, args.on_error)
     kwargs = {}
@@ -410,6 +469,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
+    _apply_backend(args)
     r = _read_dataset(args.r, args.on_error)
     s = _read_dataset(args.s, args.on_error)
     kwargs = {}
@@ -530,6 +590,7 @@ def _run_join_strategy(args: argparse.Namespace, r, s, algorithm: str, kwargs: d
 
 
 def _cmd_probe(args: argparse.Namespace) -> int:
+    _apply_backend(args)
     s = _read_dataset(args.s, args.on_error)
     kwargs = {}
     if args.bits is not None:
@@ -646,6 +707,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    _apply_backend(args)
     # Imported lazily: the serving layer (sockets, thread pool) should
     # not load for the one-shot subcommands.
     from repro.serve import JoinServer
@@ -699,6 +761,7 @@ def main(argv: list[str] | None = None) -> int:
         "join": _cmd_join,
         "probe": _cmd_probe,
         "serve": _cmd_serve,
+        "backends": _cmd_backends,
         "lint": _cmd_lint,
         "bench": _cmd_bench,
     }

@@ -46,6 +46,7 @@ from repro.analysis.sanitizer import (
 )
 from repro.governance.memory import traced_build
 from repro.governance.policy import current_policy, governor
+from repro.kernels import active_backend_name
 from repro.obs.clock import perf_counter
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import current_tracer
@@ -432,6 +433,10 @@ class SetContainmentJoin(ABC):
             index = self._prepare(s, probe_hint)
             if gov is not None:
                 gov.poll()
+            # Every probe batch this index serves reports which kernel
+            # backend was live at build time (build_extras are copied
+            # into each batch's stats and excluded from accumulation).
+            index.build_extras.setdefault("kernel_backend", active_backend_name())
             index.build_seconds = perf_counter() - start
             if tracer.enabled:
                 tracer.count("index_builds")

@@ -27,6 +27,7 @@ from repro.core.base import (
     SetContainmentJoin,
 )
 from repro.governance.policy import governor
+from repro.kernels import KernelBackend, SignaturePack, get_backend
 from repro.obs.tracer import current_tracer
 from repro.obs.clock import perf_counter
 from repro.relations.relation import Relation, SetRecord
@@ -62,6 +63,11 @@ class SignaturePreparedIndex(PreparedIndex):
     def __init__(self, algorithm: "SignatureJoinBase", relation: Relation) -> None:
         super().__init__(algorithm.name, relation)
         self._algorithm = algorithm
+        # Relation-wide packed signatures, filled in by ``_prepare`` right
+        # after the build (one kernel pack shared by every probe batch).
+        self._kernel: KernelBackend | None = None
+        self._signature_pack: SignaturePack | None = None
+        self._pack_rids: tuple[int, ...] = ()
 
     @property
     def scheme(self) -> SignatureScheme:
@@ -163,6 +169,47 @@ class SignaturePreparedIndex(PreparedIndex):
             tracer.registry.counter("leaf_hits").inc(leaf_hits)
         return pairs
 
+    # ------------------------------------------------------------------
+    # Kernel-backed whole-relation signature scans
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> KernelBackend:
+        """The kernel backend this index was packed with."""
+        assert self._kernel is not None
+        return self._kernel
+
+    @property
+    def signature_pack(self) -> SignaturePack:
+        """Every indexed record's signature, packed once at prepare time."""
+        assert self._signature_pack is not None
+        return self._signature_pack
+
+    def scan_candidates(self, record: SetRecord) -> list[int]:
+        """Ids of indexed records whose signature ``⊑`` the probe's.
+
+        One batched kernel call over the whole relation — the flat
+        (enumeration-free) form of the signature filter.  The result is a
+        superset of what trie/bucket enumeration admits for the same
+        probe (enumeration only prunes, never adds), so it serves as a
+        prefilter, a cross-check, and the kernel-speedup benchmark
+        surface.  Does not touch any ``JoinStats`` counters.
+        """
+        sig = self.scheme.signature(record.elements)
+        rows = self.kernel.filter_subset_batch(self.signature_pack, sig)
+        rids = self._pack_rids
+        return [rids[i] for i in rows]
+
+    def scan_superset_candidates(self, record: SetRecord) -> list[int]:
+        """Ids of indexed records whose signature covers the probe's.
+
+        The superset-join direction (``probe ⊑ indexed``), batched the
+        same way; the candidate prefilter for ``R ⋈⊆ S``.
+        """
+        sig = self.scheme.signature(record.elements)
+        rows = self.kernel.filter_superset_batch(self.signature_pack, sig)
+        rids = self._pack_rids
+        return [rids[i] for i in rows]
+
     def memory_objects(self, probe_relation: Relation | None = None) -> list[Any]:
         objs: list[Any] = []
         for attr in ("trie", "buckets"):
@@ -248,4 +295,19 @@ class SignatureJoinBase(SetContainmentJoin):
         index.signature_bits = bits
         index.index_nodes = build_stats.index_nodes
         index.build_extras = dict(build_stats.extras)
+        # Pack the whole relation's signatures once; cached on the index
+        # so every probe batch (and the scan prefilters) reuses it.
+        kernel = get_backend()
+        signature = self.scheme.signature
+        sigs: list[int] = []
+        rids: list[int] = []
+        gov = governor("build", build_stats)
+        for rec in s:
+            if gov is not None:
+                gov.tick()
+            sigs.append(signature(rec.elements))
+            rids.append(rec.rid)
+        index._kernel = kernel
+        index._signature_pack = kernel.pack_signatures(sigs, bits)
+        index._pack_rids = tuple(rids)
         return index

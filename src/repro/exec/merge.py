@@ -57,11 +57,13 @@ STRUCTURAL_FIELDS = ("index_nodes", "signature_bits")
 #: performed and chunks stranded by an abort accumulate like work.
 ADDITIVE_EXTRAS = ("deadline_polls", "cancelled_chunks")
 
-#: Governance ``extras`` combined by ``max`` when present: a degradation
-#: marker names the executor a piece was re-planned onto, and lexicographic
-#: max is associative and commutative, so a partial (cancelled) shard set
+#: ``extras`` combined by ``max`` when present: a degradation marker
+#: names the executor a piece was re-planned onto, and the kernel-backend
+#: marker names the backend the pieces' shared index was packed with
+#: (identical across pieces of one join).  Lexicographic max is
+#: associative and commutative, so a partial (cancelled) shard set
 #: merges to the same marker in any fold order.
-MARKER_EXTRAS = ("degraded_to",)
+MARKER_EXTRAS = ("degraded_to", "kernel_backend")
 
 
 def merge_stats(total: JoinStats, part: JoinStats) -> JoinStats:

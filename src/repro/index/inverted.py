@@ -4,8 +4,10 @@ PRETTI and PRETTI+ index the *probe* relation ``R`` with an inverted file:
 for each element ``e``, the ascending list of ids of R-tuples whose set
 contains ``e``.  During the trie traversal, the running candidate list is
 intersected with one inverted list per trie element; intersections dominate
-PRETTI's running time, so this module provides an adaptive merge /
-galloping (exponential-search) intersection over sorted lists.
+PRETTI's running time, so the intersection routes through the swappable
+kernel layer (:mod:`repro.kernels`), whose pure-Python backend carries the
+adaptive merge / galloping (exponential-search) strategy this module
+originally implemented.
 
 Under the build-once/probe-many split the inverted file is *probe-batch
 state*, not part of the prepared index: each ``probe_many`` batch builds
@@ -15,72 +17,33 @@ built once and reused across batches.
 
 from __future__ import annotations
 
-from bisect import bisect_left
 from typing import Iterable, Sequence
 
 from repro.analysis.sanitizer import maybe_check_inverted_index
+from repro.kernels import get_backend
+from repro.kernels.python_backend import (
+    GALLOP_RATIO as _GALLOP_RATIO,
+    gallop_intersect as _gallop_intersect,
+    merge_intersect as _merge_intersect,
+)
 from repro.relations.relation import Relation
 
 __all__ = ["InvertedIndex", "intersect_sorted"]
 
-# Below this length ratio the plain linear merge wins over galloping.
-_GALLOP_RATIO = 8
-
-
-def _gallop_intersect(small: Sequence[int], large: Sequence[int]) -> list[int]:
-    """Intersect two ascending lists where ``small`` is much shorter.
-
-    For each item of ``small``, binary-search ``large`` within a window that
-    only moves forward — O(|small| * log |large|).
-    """
-    out: list[int] = []
-    lo = 0
-    hi = len(large)
-    for value in small:
-        lo = bisect_left(large, value, lo, hi)
-        if lo == hi:
-            break
-        if large[lo] == value:
-            out.append(value)
-            lo += 1
-    return out
-
-
-def _merge_intersect(a: Sequence[int], b: Sequence[int]) -> list[int]:
-    """Classic two-pointer merge intersection of ascending lists."""
-    out: list[int] = []
-    i = j = 0
-    len_a, len_b = len(a), len(b)
-    while i < len_a and j < len_b:
-        x, y = a[i], b[j]
-        if x == y:
-            out.append(x)
-            i += 1
-            j += 1
-        elif x < y:
-            i += 1
-        else:
-            j += 1
-    return out
-
 
 def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> list[int]:
-    """Intersect two ascending integer lists, picking merge vs galloping.
+    """Intersect two ascending integer lists via the active kernel backend.
 
-    Adaptive strategy: when the lists are within a factor ``8`` of each
-    other in length, the linear merge is faster; otherwise the galloping
-    search on the longer list wins.
+    The adaptive merge/galloping crossover (and any vectorized
+    alternative) lives in :mod:`repro.kernels`; this module-level
+    function dispatches to the process-default backend.  All backends
+    return identical lists for the strictly-increasing inputs this
+    package produces.
 
     >>> intersect_sorted([1, 3, 5], [2, 3, 4, 5])
     [3, 5]
     """
-    if not a or not b:
-        return []
-    if len(a) > len(b):
-        a, b = b, a
-    if len(b) > _GALLOP_RATIO * len(a):
-        return _gallop_intersect(a, b)
-    return _merge_intersect(a, b)
+    return get_backend().intersect_sorted(a, b)
 
 
 class InvertedIndex:
@@ -94,7 +57,7 @@ class InvertedIndex:
     (every R-tuple contains the empty prefix).
     """
 
-    __slots__ = ("lists", "all_ids", "_intersections")
+    __slots__ = ("lists", "all_ids", "_intersections", "_kernel")
 
     def __init__(self, relation: Relation) -> None:
         lists: dict[int, list[int]] = {}
@@ -114,6 +77,10 @@ class InvertedIndex:
         self.lists = lists
         self.all_ids = all_ids
         self._intersections = 0
+        # Captured once: refine() is the PRETTI hot loop, and the index is
+        # probe-batch state, so the backend active at construction applies
+        # to the whole batch.
+        self._kernel = get_backend()
         maybe_check_inverted_index(self)
 
     def __len__(self) -> int:
@@ -137,12 +104,19 @@ class InvertedIndex:
         bucket = self.lists.get(element)
         if bucket is None:
             return []
-        return intersect_sorted(current, bucket)
+        return self._kernel.intersect_sorted(current, bucket)
 
     def refine_many(self, current: Sequence[int], elements: Iterable[int]) -> list[int]:
-        """Refine by several elements in sequence (PRETTI+ node prefixes)."""
+        """Refine by several elements in sequence (PRETTI+ node prefixes).
+
+        Elements are refined in ascending posting-list length, so the
+        cheapest list drives the candidate set down first (and an
+        element with no postings empties it immediately).
+        """
+        lists = self.lists
+        ordered = sorted(elements, key=lambda e: len(lists.get(e, ())))
         result = list(current)
-        for element in elements:
+        for element in ordered:
             if not result:
                 break
             result = self.refine(result, element)

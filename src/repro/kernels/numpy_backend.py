@@ -1,0 +1,140 @@
+"""The numpy kernel backend: packed ``uint64`` signature matrices.
+
+Signatures are packed MSB-first into ``ceil(bits / 64)`` 64-bit words
+per row, so an ``[n, words]`` ``uint64`` matrix holds a whole bucket
+(or relation) and one vectorized ``&``/``== 0`` pass answers the
+containment filter for every row at once — the batch form of
+``sub & ~sup == 0``.
+
+numpy is an *optional* dependency of this module alone (lint rule
+RPR010 keeps it from leaking anywhere else outside ``repro/kernels/``
+and the data-generation layer).  When numpy is missing, constructing
+:class:`NumpyKernel` raises :class:`KernelUnavailableError` and the
+registry's auto-selection falls back to the pure-Python backend.
+
+Parity: all outputs are plain Python ints in the same order the
+``python`` backend produces, which the backend-parametrized
+differential and golden suites verify bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.kernels.base import KernelBackend, KernelUnavailableError, SignaturePack
+from repro.kernels.python_backend import PythonKernel
+
+try:  # pragma: no cover - exercised implicitly by backend availability
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less hosts
+    _np = None  # type: ignore[assignment]
+
+__all__ = ["NumpyKernel", "NumpySignaturePack"]
+
+#: Below this size the numpy call overhead loses to the pure merge, so
+#: ``intersect_sorted`` delegates tiny inputs to the python kernels.
+#: Purely a performance crossover: both paths return identical lists.
+_SMALL_INTERSECT = 64
+
+
+def _to_matrix(signatures: Sequence[int], bits: int, np) -> "tuple":
+    """Pack ints into an ``[n, words]`` native-endian uint64 matrix."""
+    words = max(1, (bits + 63) // 64)
+    if not signatures:
+        return np.empty((0, words), dtype=np.uint64), words
+    buf = b"".join(sig.to_bytes(words * 8, "big") for sig in signatures)
+    matrix = (
+        np.frombuffer(buf, dtype=">u8")
+        .reshape(len(signatures), words)
+        .astype(np.uint64)
+    )
+    return matrix, words
+
+
+class NumpySignaturePack(SignaturePack):
+    """Packed signatures as a ``[n, words]`` ``uint64`` matrix.
+
+    ``inverse`` holds ``~matrix``, precomputed once so the superset
+    filter never materializes an ``[n, words]`` temporary per probe —
+    both filters are memory-bound, so per-call full-size temporaries are
+    the dominant cost.
+    """
+
+    __slots__ = ("matrix", "inverse", "words")
+
+    def __init__(self, signatures: Sequence[int], bits: int, np) -> None:
+        super().__init__("numpy", bits, len(signatures))
+        self.matrix, self.words = _to_matrix(signatures, bits, np)
+        self.inverse = ~self.matrix
+
+
+class NumpyKernel(KernelBackend):
+    """Vectorized batch kernels over packed uint64 signature matrices.
+
+    Raises:
+        KernelUnavailableError: If numpy is not importable on this host.
+    """
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        if _np is None:
+            raise KernelUnavailableError(
+                "numpy is not installed; use the 'python' kernel backend"
+            )
+        self._np = _np
+
+    def pack_signatures(self, signatures: Sequence[int], bits: int) -> NumpySignaturePack:
+        return NumpySignaturePack(signatures, bits, self._np)
+
+    def _probe_words(self, probe: int, words: int):
+        np = self._np
+        return np.frombuffer(
+            probe.to_bytes(words * 8, "big"), dtype=">u8"
+        ).astype(np.uint64)
+
+    def filter_subset_batch(self, pack: SignaturePack, probe: int) -> list[int]:
+        # A row is admitted when every word of ``row & ~probe`` is zero;
+        # ``any`` on the masked uint64 words tests that directly, without
+        # a full-size ``== 0`` boolean intermediate.
+        assert isinstance(pack, NumpySignaturePack)
+        if len(pack) == 0:
+            return []
+        np = self._np
+        mask = ~self._probe_words(probe, pack.words)
+        conflicts = (pack.matrix & mask).any(axis=1)
+        return np.flatnonzero(~conflicts).tolist()
+
+    def filter_superset_batch(self, pack: SignaturePack, probe: int) -> list[int]:
+        assert isinstance(pack, NumpySignaturePack)
+        if len(pack) == 0:
+            return []
+        np = self._np
+        probe_words = self._probe_words(probe, pack.words)
+        conflicts = (probe_words & pack.inverse).any(axis=1)
+        return np.flatnonzero(~conflicts).tolist()
+
+    def popcount_batch(self, pack: SignaturePack) -> list[int]:
+        assert isinstance(pack, NumpySignaturePack)
+        if len(pack) == 0:
+            return []
+        np = self._np
+        counts = np.bitwise_count(pack.matrix)
+        return counts.sum(axis=1, dtype=np.int64).tolist()
+
+    def intersect_sorted(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        if not a or not b:
+            return []
+        if min(len(a), len(b)) < _SMALL_INTERSECT:
+            return _PYTHON_FALLBACK.intersect_sorted(a, b)
+        np = self._np
+        out = np.intersect1d(
+            np.asarray(a, dtype=np.int64),
+            np.asarray(b, dtype=np.int64),
+            assume_unique=True,
+        )
+        return out.tolist()
+
+
+#: Small-input intersect fallback; the pure backend is always constructible.
+_PYTHON_FALLBACK = PythonKernel()

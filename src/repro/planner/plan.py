@@ -308,6 +308,16 @@ class Plan:
             return None
         return decision.cost.total
 
+    @property
+    def kernel_backend(self) -> str | None:
+        """The kernel backend the plan was made against, when recorded.
+
+        ``None`` for plans predating the kernel layer (e.g. deserialized
+        from old JSON) — executors then run on the process default.
+        """
+        decision = self.decision("kernel")
+        return decision.choice if decision is not None else None
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------

@@ -44,11 +44,35 @@ from repro.signatures.cost_model import (
     expected_trie_height,
 )
 
-__all__ = ["CostProfile", "COST_PROFILES", "cost_profile", "estimate_cost"]
+__all__ = [
+    "CostProfile",
+    "COST_PROFILES",
+    "KERNEL_PROBE_DISCOUNT",
+    "cost_profile",
+    "estimate_cost",
+]
 
 #: Exponent cap: beyond this the estimate is "infeasible", kept finite so
 #: comparisons and serialization stay well-behaved.
 _MAX_COST = 1e30
+
+#: Per-backend probe-cost multipliers by profile family.  The base
+#: estimators are calibrated against the pure-Python kernels; a vectorized
+#: backend discounts the probe side where its batch kernels actually land:
+#: the ``signature`` family's probe cost is dominated by the batched
+#: ``⊑`` filter (the kernel-speedup bench gates numpy at ≥2x there, hence
+#: 0.5), the ``inverted`` family only accelerates large posting-list
+#: intersections (small lists fall back to the merge kernel), and the
+#: ``oracle`` family does exact set comparisons no kernel touches.
+#: Unlisted backends/families default to 1.0 (no discount claimed).
+KERNEL_PROBE_DISCOUNT: dict[str, dict[str, float]] = {
+    "python": {},
+    "numpy": {
+        "signature": 0.5,
+        "inverted": 0.85,
+        "experimental": 0.9,
+    },
+}
 
 
 def _clamp(value: float) -> float:
@@ -171,6 +195,25 @@ class CostProfile:
     def estimate(self, r: RelationStats, s: RelationStats, bits: int) -> CostEstimate:
         """Evaluate this algorithm's model at one configuration."""
         return self.estimator(r, s, bits)
+
+    def kernel_probe_factor(self, backend: str) -> float:
+        """This family's probe-cost multiplier under ``backend`` kernels."""
+        return KERNEL_PROBE_DISCOUNT.get(backend, {}).get(self.family, 1.0)
+
+    def estimate_for_backend(
+        self, r: RelationStats, s: RelationStats, bits: int, backend: str
+    ) -> CostEstimate:
+        """The model estimate with the backend's probe discount applied.
+
+        Build cost is backend-independent (index construction is plain
+        Python either way; signature packing is a small additive term the
+        model ignores); only probe work rides the batch kernels.
+        """
+        base = self.estimate(r, s, bits)
+        factor = self.kernel_probe_factor(backend)
+        if factor == 1.0:
+            return base
+        return CostEstimate(build=base.build, probe=_clamp(base.probe * factor))
 
     def estimate_sharded(
         self,

@@ -59,9 +59,16 @@ def index_key(
     must already be registry-canonical (the server resolves ``"auto"``
     against the relation's statistics *before* keying, so auto and an
     explicit pick of the same algorithm share an entry).
+
+    The key also pins the kernel backend the index would be packed with
+    (the process default at key time): a resident index carries
+    backend-specific packed signature structures, so a cached build must
+    never be served to a request running under a different backend.
     """
+    from repro.kernels import active_backend_name
+
     suffix = "" if bits is None else f"|bits={bits}"
-    return f"{relation.fingerprint()}|{algorithm}{suffix}"
+    return f"{relation.fingerprint()}|{algorithm}{suffix}|kernel={active_backend_name()}"
 
 
 class _Entry:

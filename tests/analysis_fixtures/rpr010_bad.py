@@ -1,0 +1,10 @@
+"""RPR010 fixture (bad): numpy imports outside the kernel layer."""
+import numpy
+import numpy.linalg as la
+from numpy import uint64
+
+
+def pack(signatures, bits):
+    words = max(1, (bits + 63) // 64)
+    matrix = numpy.zeros((len(signatures), words), dtype=uint64)
+    return matrix, la

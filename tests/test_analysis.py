@@ -39,6 +39,7 @@ RULE_FIXTURES = {
     "RPR007": ("rpr007", "repro.core.fixture", 3),
     "RPR008": ("rpr008", "repro.core.fixture", 1),
     "RPR009": ("rpr009", "repro.core.fixture", 3),
+    "RPR010": ("rpr010", "repro.core.fixture", 3),
 }
 
 

@@ -28,11 +28,19 @@ from repro.core.registry import (
     set_containment_join,
 )
 from repro.exec import ParallelJoin, ResilientParallelJoin, RetryPolicy
+from repro.kernels import available_backends, use_backend
 from repro.obs import Tracer, use
 from repro.planner import Workload
 from repro.relations.relation import Relation, SetRecord
 
 ALL_ALGORITHMS = available_algorithms()
+
+#: Every kernel backend constructible on this host ("python" at minimum,
+#: plus "numpy" wherever it imports).  The oracle tests run once per
+#: backend: the parity contract (docs/KERNELS.md) says backends are
+#: bit-for-bit interchangeable, so the same seeds must produce the same
+#: pairs and the same counters under each.
+KERNEL_BACKENDS = available_backends()
 
 #: Pinned multiprocessing start method for the parallel differential test
 #: (CI runs the suite once per method; ``None`` = platform default).
@@ -42,13 +50,26 @@ DIFFERENTIAL_SETTINGS = settings(
     max_examples=25,
     deadline=None,
     derandomize=True,
-    suppress_health_check=[HealthCheck.too_slow],
+    # function_scoped_fixture: the kernel_backend fixture pins one
+    # backend for *all* examples of a test, so not resetting it between
+    # examples is exactly the intended behaviour.
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
 )
 
 #: Small universes keep the oracle trivial while still hitting subset
 #: structure, duplicate sets, empty sets and empty relations.
 set_strategy = st.frozensets(st.integers(min_value=0, max_value=30), max_size=8)
 relation_strategy = st.lists(set_strategy, max_size=12)
+
+
+@pytest.fixture(params=KERNEL_BACKENDS)
+def kernel_backend(request):
+    """Run the decorated test once under each available kernel backend."""
+    with use_backend(request.param):
+        yield request.param
 
 
 def build_relation(sets: list[frozenset[int]], start_id: int = 0) -> Relation:
@@ -84,25 +105,27 @@ def assert_stats_invariants(name: str, stats, pairs) -> None:
 @given(r_sets=relation_strategy, s_sets=relation_strategy)
 @seed(20150413)  # ICDE 2015 — pinned so failures replay identically
 @DIFFERENTIAL_SETTINGS
-def test_join_matches_oracle(name, r_sets, s_sets):
+def test_join_matches_oracle(name, kernel_backend, r_sets, s_sets):
     r = build_relation(r_sets)
     s = build_relation(s_sets, start_id=100)
     result = make_algorithm(name).join(r, s)
     assert set(result.pairs) == oracle(r, s)
     assert_stats_invariants(name, result.stats, result.pairs)
+    assert result.stats.extras.get("kernel_backend") == kernel_backend
 
 
 @pytest.mark.parametrize("name", ALL_ALGORITHMS)
 @given(r_sets=relation_strategy, s_sets=relation_strategy)
 @seed(20150413)
 @DIFFERENTIAL_SETTINGS
-def test_prepared_probe_matches_oracle(name, r_sets, s_sets):
+def test_prepared_probe_matches_oracle(name, kernel_backend, r_sets, s_sets):
     r = build_relation(r_sets)
     s = build_relation(s_sets, start_id=100)
     index = make_algorithm(name).prepare(s, probe_hint=r)
     result = index.probe_many(r)
     assert set(result.pairs) == oracle(r, s)
     assert_stats_invariants(name, result.stats, result.pairs)
+    assert result.stats.extras.get("kernel_backend") == kernel_backend
 
 
 @pytest.mark.parametrize("name", ALL_ALGORITHMS)
@@ -211,7 +234,49 @@ def test_parallel_plan_matches_oracle():
 
 
 @pytest.mark.parametrize("name", ALL_ALGORITHMS)
-def test_edge_relations(name):
+def test_backend_counter_parity(name):
+    """Every backend reproduces the python backend's JoinStats exactly.
+
+    This is the parity contract of docs/KERNELS.md made executable:
+    pairs, every scalar counter and every extra (minus the
+    ``kernel_backend`` marker itself) must be bit-for-bit identical no
+    matter which backend ran the batch filters.
+    """
+    from .conftest import random_relation
+
+    r = random_relation(50, 8, 60, seed=91)
+    s = random_relation(50, 5, 60, seed=92)
+
+    def fingerprint(backend: str):
+        with use_backend(backend):
+            result = make_algorithm(name).join(r, s)
+        extras = {
+            k: v for k, v in result.stats.extras.items() if k != "kernel_backend"
+        }
+        assert result.stats.extras.get("kernel_backend") == backend
+        return (
+            result.pairs,
+            result.stats.pairs,
+            result.stats.candidates,
+            result.stats.verifications,
+            result.stats.node_visits,
+            result.stats.intersections,
+            result.stats.index_nodes,
+            result.stats.signature_bits,
+            extras,
+        )
+
+    reference = fingerprint("python")
+    for backend in KERNEL_BACKENDS:
+        if backend == "python":
+            continue
+        assert fingerprint(backend) == reference, (
+            f"{name}: backend {backend!r} drifted from the python backend"
+        )
+
+
+@pytest.mark.parametrize("name", ALL_ALGORITHMS)
+def test_edge_relations(name, kernel_backend):
     """Deterministic spot checks hypothesis shrinks toward anyway."""
     empty = build_relation([])
     single_empty = build_relation([frozenset()])

@@ -19,9 +19,17 @@ from repro.core.registry import available_algorithms, make_algorithm, prepare_in
 from repro.extensions.equality import equality_join_on_index
 from repro.extensions.set_index import PatriciaSetIndex
 from repro.extensions.superset import superset_join_on_index
+from repro.kernels import available_backends, use_backend
 from repro.relations.io import read_relation, write_join_result
 
 GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(params=available_backends())
+def kernel_backend(request):
+    """Pin the expected bytes under every available kernel backend."""
+    with use_backend(request.param):
+        yield request.param
 
 
 @pytest.fixture(scope="module")
@@ -55,16 +63,18 @@ def test_fixture_exercises_edge_cases(golden_pair):
 
 
 @pytest.mark.parametrize("name", available_algorithms())
-def test_containment_join_golden(name, golden_pair, tmp_path):
+def test_containment_join_golden(name, kernel_backend, golden_pair, tmp_path):
     r, s = golden_pair
     result = make_algorithm(name).join(r, s)
+    assert result.stats.extras.get("kernel_backend") == kernel_backend
     _assert_bytes_match(result.pairs, "expected_containment.txt", tmp_path)
 
 
 @pytest.mark.parametrize("name", available_algorithms())
-def test_prepared_probe_golden(name, golden_pair, tmp_path):
+def test_prepared_probe_golden(name, kernel_backend, golden_pair, tmp_path):
     r, s = golden_pair
     result = prepare_index(s, algorithm=name).probe_many(r)
+    assert result.stats.extras.get("kernel_backend") == kernel_backend
     _assert_bytes_match(result.pairs, "expected_containment.txt", tmp_path)
 
 
