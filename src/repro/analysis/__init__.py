@@ -1,35 +1,38 @@
-"""repro.analysis — project-specific static analysis + runtime sanitizer.
+"""repro.analysis — project-specific static analysis + runtime sanitizers.
 
-Two enforcement layers for the contracts the test suite cannot see
+Three enforcement layers for the contracts the test suite cannot see
 (``docs/ANALYSIS.md``):
 
 * :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — an AST lint
   engine (``python -m repro.analysis`` / ``repro-scj lint``) with rules
   ``RPR001``… covering the one-clock discipline, pickle-safety at the
   process boundary, planner value-object immutability, JoinStats counter
-  discipline, determinism, and general exception/default hygiene.
-  Violations are suppressed inline with ``# repro: noqa RPRxxx <reason>``;
-  suppressions are counted and an unexplained one fails the run.
+  discipline, determinism, general exception/default hygiene, and (PR 10)
+  the lock discipline of the threaded serving stack.  Violations are
+  suppressed inline with ``# repro: noqa RPRxxx <reason>``; suppressions
+  are counted and an unexplained one fails the run.
 * :mod:`repro.analysis.sanitizer` — runtime structural checks, enabled by
   ``REPRO_SANITIZE=1``: tries, signature bitmaps, the inverted index and
   prepared indexes are re-validated at their hook sites and a violation
   raises :class:`~repro.errors.SanitizerError` with the offending node
   path.
+* :mod:`repro.analysis.concurrency` — runtime lock-order / race detector,
+  enabled by ``REPRO_RACEDETECT=1``: locks created through
+  :func:`~repro.analysis.concurrency.tracked_lock` record a process-wide
+  acquisition-order graph and raise
+  :class:`~repro.errors.LockOrderError` on an order inversion or a
+  same-thread re-entry, naming both acquisition stacks.
+
+Package attributes resolve lazily (PEP 562): low layers like
+:mod:`repro.kernels` and :mod:`repro.obs.metrics` import
+``repro.analysis.concurrency`` for their lock factories, and an eager
+``from .sanitizer import ...`` here would drag the whole index stack
+(tries → signatures → kernels) into that import and cycle.
 """
 
-from repro.analysis.engine import (
-    FileReport,
-    LintReport,
-    ModuleContext,
-    Rule,
-    Suppression,
-    Violation,
-    lint_paths,
-    lint_source,
-    main,
-)
-from repro.analysis.sanitizer import ENV_VAR as SANITIZE_ENV_VAR
-from repro.analysis.sanitizer import enabled as sanitizer_enabled
+from __future__ import annotations
+
+from typing import Any
 
 __all__ = [
     "Violation",
@@ -43,4 +46,44 @@ __all__ = [
     "main",
     "SANITIZE_ENV_VAR",
     "sanitizer_enabled",
+    "RACEDETECT_ENV_VAR",
+    "racedetect_enabled",
+    "TrackedLock",
+    "tracked_lock",
 ]
+
+_ENGINE_EXPORTS = {
+    "Violation",
+    "Suppression",
+    "ModuleContext",
+    "Rule",
+    "FileReport",
+    "LintReport",
+    "lint_source",
+    "lint_paths",
+    "main",
+}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _ENGINE_EXPORTS:
+        from repro.analysis import engine
+
+        return getattr(engine, name)
+    if name in ("SANITIZE_ENV_VAR", "sanitizer_enabled"):
+        from repro.analysis import sanitizer
+
+        return sanitizer.ENV_VAR if name == "SANITIZE_ENV_VAR" else sanitizer.enabled
+    if name in ("RACEDETECT_ENV_VAR", "racedetect_enabled"):
+        from repro.analysis import concurrency
+
+        return concurrency.ENV_VAR if name == "RACEDETECT_ENV_VAR" else concurrency.enabled
+    if name in ("TrackedLock", "tracked_lock"):
+        from repro.analysis import concurrency
+
+        return getattr(concurrency, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

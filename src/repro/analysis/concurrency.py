@@ -1,0 +1,288 @@
+"""Runtime lock-order / race sanitizer (``REPRO_RACEDETECT=1``).
+
+PR 10's dynamic half: the serving stack (``serve/``, ``obs/metrics.py``,
+``kernels/__init__.py``, ``core/base.py``) creates its locks through
+:func:`tracked_lock` instead of ``threading.Lock()``.  With
+``REPRO_RACEDETECT`` unset that factory returns a *plain* stdlib lock —
+the hot path pays nothing.  With it set (same truthiness contract as
+``REPRO_SANITIZE``, see :mod:`repro.analysis.sanitizer`) the factory
+returns a :class:`TrackedLock` that enforces the project's lock
+discipline at runtime:
+
+* **Lock-order graph.**  Locks are named (``"cache.lock"``,
+  ``"metrics.registry"``, ...); whenever a thread acquires ``B`` while
+  holding ``A``, the edge ``A → B`` is recorded process-wide together
+  with the acquiring stack.  An acquisition that would close a cycle
+  raises :class:`~repro.errors.LockOrderError` naming *both* stacks —
+  the one acquiring now and the one that established the reverse path —
+  before the thread ever blocks, so a potential deadlock becomes a
+  stack-bearing test failure instead of a hang.  The offending edge is
+  *not* inserted, keeping the graph acyclic for subsequent checks.
+* **Re-entry.**  Acquiring a non-reentrant tracked lock twice on one
+  thread is a guaranteed self-deadlock; the detector raises immediately
+  instead of freezing the suite.
+* **Hold-time histograms.**  Each release stamps the hold duration into
+  the owning component's :class:`~repro.obs.metrics.MetricsRegistry`
+  (``lock.<name>.hold_seconds``), so contention shows up in the same
+  ``stats`` snapshot the server already serves.
+
+The order graph keys on lock *names*, not instances: every
+``cache.build`` lock is one node, so an inversion between any build lock
+and the registry lock is caught even when the two runs used different
+key objects.  The documented project-wide order lives in
+``docs/ANALYSIS.md``.
+
+This module deliberately imports nothing from :mod:`repro.obs` —
+``obs/metrics.py`` itself creates its registry lock through
+:func:`tracked_lock`, so an import in the other direction would be a
+cycle.  Hold times are read from ``time.perf_counter`` directly for the
+same reason; they are detector diagnostics, never join phase timings, so
+the one-clock comparability contract (RPR001) is not at stake.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from typing import TYPE_CHECKING, Union
+
+# Deliberately not repro.obs.clock: metrics.py builds its registry lock
+# through tracked_lock, so importing obs from here would be a cycle.
+# The two perf_counter call sites below carry the RPR001 waivers.
+import time
+
+from repro.errors import LockOrderError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "ENV_VAR",
+    "TrackedLock",
+    "enabled",
+    "held_lock_names",
+    "lock_order_edges",
+    "reset_lock_order",
+    "tracked_lock",
+]
+
+#: Environment variable enabling the detector (``REPRO_SANITIZE`` style).
+ENV_VAR = "REPRO_RACEDETECT"
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+
+def enabled() -> bool:
+    """Whether the race detector is switched on for this process.
+
+    Read fresh on every call (cheap: one dict lookup), so tests can flip
+    the environment variable per-case; locks constructed *before* the
+    flip keep the flavour they were built with.
+    """
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSY
+
+
+# ----------------------------------------------------------------------
+# Process-wide lock-order graph
+# ----------------------------------------------------------------------
+#: ``_EDGES[a][b]`` = formatted stack of the acquisition that first took
+#: ``b`` while holding ``a``.  Guarded by ``_GRAPH_LOCK`` — a *plain*
+#: lock, always leaf-most, never itself tracked.
+_EDGES: dict[str, dict[str, str]] = {}
+_GRAPH_LOCK = threading.Lock()
+
+#: Per-thread stack of currently-held TrackedLocks (innermost last).
+_HELD = threading.local()
+
+
+def _held(create: bool = True) -> list[tuple["TrackedLock", float]]:
+    stack = getattr(_HELD, "stack", None)
+    if stack is None:
+        if not create:
+            return []
+        stack = []
+        _HELD.stack = stack
+    return stack
+
+
+def held_lock_names() -> tuple[str, ...]:
+    """Names of tracked locks the calling thread holds, outermost first."""
+    return tuple(entry.name for entry, _ in _held(create=False))
+
+
+def lock_order_edges() -> dict[str, tuple[str, ...]]:
+    """The recorded acquisition-order graph: name → names acquired under it."""
+    with _GRAPH_LOCK:
+        return {a: tuple(sorted(bs)) for a, bs in _EDGES.items()}
+
+
+def reset_lock_order() -> None:
+    """Forget every recorded edge (test isolation between scenarios)."""
+    with _GRAPH_LOCK:
+        _EDGES.clear()
+
+
+def _capture_stack() -> str:
+    # Drop the two innermost frames (this helper and TrackedLock.acquire)
+    # so the stack ends at the caller actually taking the lock.
+    frames = traceback.format_stack()[:-2]
+    return "".join(frames)
+
+
+def _find_path(start: str, goal: str) -> list[str] | None:
+    """A path ``start → ... → goal`` through ``_EDGES`` (caller holds
+    ``_GRAPH_LOCK``), or ``None``."""
+    seen = {start}
+    frontier: list[list[str]] = [[start]]
+    while frontier:
+        path = frontier.pop()
+        for nxt in _EDGES.get(path[-1], ()):
+            if nxt == goal:
+                return path + [nxt]
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(path + [nxt])
+    return None
+
+
+def _record_edge(held_name: str, acquiring: str, stack: str, thread: str) -> None:
+    """Record ``held_name → acquiring``; raise on a would-be cycle."""
+    with _GRAPH_LOCK:
+        targets = _EDGES.get(held_name)
+        if targets is not None and acquiring in targets:
+            return
+        path = _find_path(acquiring, held_name)
+        if path is not None:
+            # The first edge of the reverse path carries the stack that
+            # committed the conflicting order.
+            prior_stack = _EDGES[path[0]][path[1]]
+            chain = " -> ".join(path)
+            raise LockOrderError(
+                f"lock-order inversion: thread {thread!r} acquiring "
+                f"{acquiring!r} while holding {held_name!r}, but the "
+                f"opposite order {chain} is already established\n"
+                f"--- this acquisition ({held_name!r} -> {acquiring!r}) ---\n"
+                f"{stack}"
+                f"--- prior acquisition ({path[0]!r} -> {path[1]!r}) ---\n"
+                f"{prior_stack}"
+            )
+        # Insert only after the cycle check passed, so a raising
+        # acquisition leaves the graph exactly as it found it.
+        _EDGES.setdefault(held_name, {})[acquiring] = stack
+
+
+class TrackedLock:
+    """An instrumented mutex enforcing the project lock discipline.
+
+    Drop-in for ``threading.Lock()`` / ``threading.RLock()`` — supports
+    ``acquire(blocking, timeout)`` / ``release()`` / context-manager use
+    / ``locked()`` — plus:
+
+    * lock-order cycle detection against every other :class:`TrackedLock`
+      in the process (see module docstring);
+    * same-thread re-entry detection when ``reentrant=False``;
+    * hold-time stamping into ``registry`` (``lock.<name>.hold_seconds``)
+      when a registry was supplied.
+
+    Not picklable (owners already drop their locks in ``__getstate__``).
+    """
+
+    __slots__ = ("name", "reentrant", "_inner", "_registry")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        registry: "MetricsRegistry | None" = None,
+        reentrant: bool = False,
+    ) -> None:
+        self.name = name
+        self.reentrant = reentrant
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+        self._registry = registry
+
+    # -- acquisition ---------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        held = _held()
+        thread = threading.current_thread().name
+        if not self.reentrant and any(entry is self for entry, _ in held):
+            raise LockOrderError(
+                f"re-entrant acquisition of non-reentrant lock {self.name!r} "
+                f"on thread {thread!r} (guaranteed self-deadlock)\n"
+                f"--- this acquisition ---\n{_capture_stack()}"
+            )
+        # Order check happens *before* blocking: a would-be deadlock
+        # raises with stacks instead of hanging the suite.
+        if held:
+            stack = _capture_stack()
+            for entry_name in {entry.name for entry, _ in held}:
+                if entry_name != self.name:
+                    _record_edge(entry_name, self.name, stack, thread)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            held.append((self, time.perf_counter()))  # repro: noqa RPR001 detector-internal hold timing (see module docstring)
+        return acquired
+
+    def release(self) -> None:
+        held = _held()
+        acquired_at: float | None = None
+        for idx in range(len(held) - 1, -1, -1):
+            if held[idx][0] is self:
+                acquired_at = held.pop(idx)[1]
+                break
+        self._inner.release()
+        # Stamp after the raw release so observing (which may create the
+        # histogram under the registry's own lock) never extends the
+        # measured hold and never runs while this lock is marked held.
+        if acquired_at is not None and self._registry is not None:
+            elapsed = time.perf_counter() - acquired_at  # repro: noqa RPR001 detector-internal hold timing (see module docstring)
+            self._registry.histogram(f"lock.{self.name}.hold_seconds").observe(
+                elapsed
+            )
+
+    # -- context manager / introspection -------------------------------
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        if self.reentrant:
+            # RLock has no locked(), and probing it with a non-blocking
+            # acquire would *succeed* for the owning thread — so check
+            # this thread's held stack first, then probe for others.
+            if any(entry is self for entry, _ in _held(create=False)):
+                return True
+            if self._inner.acquire(blocking=False):
+                self._inner.release()
+                return False
+            return True
+        return self._inner.locked()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flavour = "reentrant" if self.reentrant else "plain"
+        return f"<TrackedLock {self.name} ({flavour})>"
+
+
+def tracked_lock(
+    name: str,
+    *,
+    registry: "MetricsRegistry | None" = None,
+    reentrant: bool = False,
+) -> Union[TrackedLock, threading.Lock, threading.RLock]:
+    """A mutex named ``name``: tracked under ``REPRO_RACEDETECT``, plain
+    stdlib otherwise.
+
+    This is the adoption point: components create their locks through
+    this factory and get the zero-overhead stdlib primitive in normal
+    runs (the flavour is decided once, at construction) and the
+    instrumented :class:`TrackedLock` under the detector.  ``registry``
+    is the component's metrics sink for hold-time histograms; pass
+    ``None`` for the registry's *own* lock (stamping into itself while
+    it may be mid-creation is the one recursion the detector avoids).
+    """
+    if not enabled():
+        return threading.RLock() if reentrant else threading.Lock()
+    return TrackedLock(name, registry=registry, reentrant=reentrant)

@@ -338,6 +338,52 @@ def _render_text(report: LintReport, *, statistics: bool, out) -> None:
             print(f"  {suppression.render()}", file=out)
 
 
+def _gh_escape(value: str, *, property: bool = False) -> str:
+    """Escape a string for a GitHub Actions workflow command.
+
+    ``%``/CR/LF are escaped everywhere; property values (file, title)
+    additionally escape ``:`` and ``,``, their delimiters.
+    """
+    value = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property:
+        value = value.replace(":", "%3A").replace(",", "%2C")
+    return value
+
+
+def _render_github(report: LintReport, out) -> None:
+    """GitHub workflow-command annotations: one ``::error`` per finding.
+
+    Emitted by the ``static-analysis`` CI job so violations annotate the
+    offending diff lines in the pull-request view instead of hiding in a
+    job log.  A trailing plain-text summary keeps the log readable; the
+    exit code is unchanged from the other formats.
+    """
+    for v in report.violations:
+        message = v.message if not v.fixit else f"{v.message} — fix: {v.fixit}"
+        print(
+            f"::error file={_gh_escape(v.path, property=True)},"
+            f"line={v.line},col={v.col + 1},"
+            f"title={_gh_escape(v.rule_id, property=True)}::"
+            f"{_gh_escape(message)}",
+            file=out,
+        )
+    for s in report.unexplained:
+        print(
+            f"::error file={_gh_escape(s.path, property=True)},"
+            f"line={s.line},title=RPR999::"
+            "unexplained suppression: '# repro: noqa' requires a reason "
+            "after the rule ids",
+            file=out,
+        )
+    print(
+        f"{len(report.violations)} violation(s), "
+        f"{len(report.suppressed)} suppressed "
+        f"({len(report.unexplained)} unexplained) "
+        f"across {len(report.files)} file(s)",
+        file=out,
+    )
+
+
 def _render_json(report: LintReport, out) -> None:
     payload = {
         "violations": [
@@ -401,9 +447,10 @@ def build_arg_parser():
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); 'github' emits workflow-"
+        "command annotations for CI",
     )
     parser.add_argument(
         "--statistics",
@@ -447,6 +494,8 @@ def run(args, out=None) -> int:
 
     if args.format == "json":
         _render_json(report, out)
+    elif args.format == "github":
+        _render_github(report, out)
     else:
         _render_text(report, statistics=args.statistics, out=out)
     return report.exit_code

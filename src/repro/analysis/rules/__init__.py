@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.analysis.rules import (
     clocks,
+    concurrency,
     counters,
     dependencies,
     determinism,
@@ -34,6 +35,7 @@ ALL_RULES = tuple(
             *counters.RULES,
             *governance.RULES,
             *dependencies.RULES,
+            *concurrency.RULES,
         ),
         key=lambda rule: rule.id,
     )

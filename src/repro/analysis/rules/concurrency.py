@@ -1,0 +1,393 @@
+"""RPR011–RPR014 — lock discipline for the threaded serving stack.
+
+PR 8–9 made the codebase genuinely multithreaded: the join server's
+request pool, the index cache's singleflight builds, shared metrics
+instruments, the kernel registry and thread-local ambient state all run
+concurrently.  These rules encode the lock discipline those layers agree
+on (``docs/ANALYSIS.md`` documents the project-wide lock order; the
+runtime half lives in :mod:`repro.analysis.concurrency`):
+
+* **RPR011** — if a class guards mutations of a ``self._*`` attribute
+  with a lock *somewhere*, every mutation of that attribute must be
+  guarded.  The lock/attribute association is inferred per class from
+  the mutations that do take a lock, so the rule needs no annotations.
+  ``__init__``-family methods are exempt (the object is not shared yet).
+* **RPR012** — no reaching into another object's private lock
+  (``hist._lock``): the owner must expose a locked method instead, or a
+  refactor of the owner silently unguards the caller.
+* **RPR013** — no blocking work (futures, pool submission, socket I/O,
+  sleeps, index builds) while holding a lock; an intentional case (e.g.
+  the singleflight builder under its per-key lock) carries an explained
+  ``# repro: noqa RPR013`` waiver.
+* **RPR014** — ``threading.local()`` ambient state must be a private
+  module-level global touched only through its module's accessor
+  functions; other modules importing or dotting into a ``_STATE``
+  re-create exactly the shared-mutable coupling thread-locals exist to
+  prevent.
+
+All four rules apply everywhere: the serving stack spans ``serve``,
+``obs``, ``kernels`` and ``core``, and a lock is a lock wherever it
+lives.  The heuristics key on this codebase's naming idiom — lock
+attributes and variables contain ``"lock"``, ambient state is
+``_STATE`` — which the fixtures pin down.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule, Violation
+
+#: Method calls that mutate their receiver in place (container idiom).
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: Methods where unguarded mutation is fine: the object is being born,
+#: torn down, or rebuilt on the far side of a process boundary.
+EXEMPT_METHODS = frozenset(
+    {"__init__", "__new__", "__del__", "__getstate__", "__setstate__"}
+)
+
+#: Attribute/method calls that block the calling thread (RPR013).
+BLOCKING_ATTRS = frozenset(
+    {
+        "accept",
+        "connect",
+        "makefile",
+        "map",
+        "recv",
+        "recvfrom",
+        "result",
+        "sendall",
+        "shutdown",
+        "sleep",
+        "submit",
+        "wait",
+    }
+)
+
+#: Callable-name substrings that mean "this builds an index" (RPR013):
+#: index construction is the system's single most expensive operation.
+BUILDING_NAME_PARTS = ("build", "prepare")
+BLOCKING_NAMES = frozenset({"probe_many", "sleep"})
+
+
+def _is_lockish(expr: ast.expr) -> bool:
+    """Whether ``expr`` names a lock by this codebase's conventions."""
+    if isinstance(expr, ast.Name):
+        return "lock" in expr.id.lower()
+    if isinstance(expr, ast.Attribute):
+        return "lock" in expr.attr.lower()
+    return False
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``X`` when ``node`` is ``self.X`` (or ``cls.X``), else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("self", "cls")
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_self_attrs(stmt: ast.stmt) -> Iterator[tuple[str, ast.AST]]:
+    """Yield ``(attr, node)`` for every ``self.X`` mutated by ``stmt``
+    itself (not by nested statements — callers walk)."""
+    targets: list[ast.expr] = []
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = list(stmt.targets)
+    for target in targets:
+        for leaf in _unpack_targets(target):
+            base = leaf
+            if isinstance(base, ast.Subscript):
+                base = base.value
+            attr = _self_attr(base)
+            if attr is not None:
+                yield attr, leaf
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            attr = _self_attr(func.value)
+            if attr is not None:
+                yield attr, stmt.value
+
+
+def _unpack_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _unpack_targets(elt)
+    else:
+        yield target
+
+
+def _lock_withs(func: ast.AST) -> Iterator[ast.With]:
+    for node in ast.walk(func):
+        if isinstance(node, ast.With) and any(
+            _is_lockish(item.context_expr) for item in node.items
+        ):
+            yield node
+
+
+def _statements_under_lock(func: ast.AST) -> set[int]:
+    """Line numbers of statements inside any lock-guarded ``with``."""
+    covered: set[int] = set()
+    for with_node in _lock_withs(func):
+        for stmt in with_node.body:
+            for node in ast.walk(stmt):
+                lineno = getattr(node, "lineno", None)
+                if lineno is not None:
+                    covered.add(lineno)
+    return covered
+
+
+# ----------------------------------------------------------------------
+# RPR011 — guarded attributes stay guarded
+# ----------------------------------------------------------------------
+def check_guarded_mutations(rule: Rule, ctx: ModuleContext) -> Iterator[Violation]:
+    for klass in ast.walk(ctx.tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        methods = [
+            n
+            for n in klass.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # Pass 1: which self attributes does this class ever mutate
+        # under a lock?  That set *is* the class's locking contract.
+        guarded: set[str] = set()
+        for method in methods:
+            for with_node in _lock_withs(method):
+                for stmt in with_node.body:
+                    for node in ast.walk(stmt):
+                        if isinstance(node, ast.stmt):
+                            for attr, _ in _mutated_self_attrs(node):
+                                guarded.add(attr)
+        if not guarded:
+            continue
+        # Pass 2: every other mutation of those attributes must also sit
+        # under a lock (any of the class's locks: cross-lock confusion
+        # is the runtime detector's department, unguarded is ours).
+        for method in methods:
+            if method.name in EXEMPT_METHODS:
+                continue
+            covered = _statements_under_lock(method)
+            for node in ast.walk(method):
+                if not isinstance(node, ast.stmt):
+                    continue
+                for attr, site in _mutated_self_attrs(node):
+                    if attr in guarded and node.lineno not in covered:
+                        yield ctx.violation(
+                            rule,
+                            site,
+                            f"'self.{attr}' is lock-guarded elsewhere in "
+                            f"class {klass.name!r} but mutated here without "
+                            "the lock",
+                        )
+
+
+# ----------------------------------------------------------------------
+# RPR012 — no reaching into another object's private lock
+# ----------------------------------------------------------------------
+def check_foreign_locks(rule: Rule, ctx: ModuleContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and (node.attr == "_lock" or node.attr.endswith("_lock"))
+            and node.attr.startswith("_")
+            and _self_attr(node) is None
+        ):
+            owner = ast.unparse(node.value)
+            yield ctx.violation(
+                rule,
+                node,
+                f"reaching into {owner!r}'s private lock '.{node.attr}' — "
+                "ask the owner for a locked method instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR013 — no blocking calls while holding a lock
+# ----------------------------------------------------------------------
+def _blocking_reason(call: ast.Call) -> str | None:
+    func = call.func
+    name = None
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+        if name in BLOCKING_ATTRS:
+            return f"blocking call '.{name}()'"
+    elif isinstance(func, ast.Name):
+        name = func.id
+    if name is None:
+        return None
+    if name in BLOCKING_NAMES:
+        return f"blocking call '{name}()'"
+    lowered = name.lower()
+    if any(part in lowered for part in BUILDING_NAME_PARTS):
+        return f"index-building call '{name}()'"
+    return None
+
+
+def check_blocking_under_lock(rule: Rule, ctx: ModuleContext) -> Iterator[Violation]:
+    for with_node in ast.walk(ctx.tree):
+        if not isinstance(with_node, ast.With):
+            continue
+        if not any(_is_lockish(item.context_expr) for item in with_node.items):
+            continue
+        lock = ast.unparse(with_node.items[0].context_expr)
+        for stmt in with_node.body:
+            for node in ast.walk(stmt):
+                # A nested with releases nothing — still under the lock.
+                if isinstance(node, ast.Call):
+                    reason = _blocking_reason(node)
+                    if reason is not None:
+                        yield ctx.violation(
+                            rule,
+                            node,
+                            f"{reason} while holding {lock!r}",
+                        )
+
+
+# ----------------------------------------------------------------------
+# RPR014 — thread-local ambient state stays behind module accessors
+# ----------------------------------------------------------------------
+def _is_threading_local_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return (
+            func.attr == "local"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+        )
+    return isinstance(func, ast.Name) and func.id == "local"
+
+
+def check_threadlocal_discipline(rule: Rule, ctx: ModuleContext) -> Iterator[Violation]:
+    # Module-level `_NAME = threading.local()` assignments are the one
+    # sanctioned shape; remember their names.
+    sanctioned_calls: set[int] = set()
+    local_names: set[str] = set()
+    for stmt in ctx.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and _is_threading_local_call(stmt.value)
+            and all(isinstance(t, ast.Name) for t in stmt.targets)
+        ):
+            sanctioned_calls.add(id(stmt.value))
+            local_names.update(t.id for t in stmt.targets)  # type: ignore[union-attr]
+    for node in ast.walk(ctx.tree):
+        if _is_threading_local_call(node) and id(node) not in sanctioned_calls:
+            yield ctx.violation(
+                rule,
+                node,
+                "threading.local() outside a module-level private global — "
+                "ambient state hiding in instances/functions cannot be "
+                "reset or reasoned about",
+            )
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "_STATE" or alias.name.endswith("_STATE"):
+                    yield ctx.violation(
+                        rule,
+                        node,
+                        f"importing thread-local state {alias.name!r} from "
+                        f"{node.module!r} — use that module's accessor "
+                        "functions",
+                    )
+        elif isinstance(node, ast.Attribute) and (
+            node.attr == "_STATE" or node.attr.endswith("_STATE")
+        ):
+            yield ctx.violation(
+                rule,
+                node,
+                f"dotting into another module's thread-local "
+                f"'.{node.attr}' — use its accessor functions",
+            )
+    # Module-level code touching the thread-local directly (outside any
+    # accessor function) binds attributes on the importing thread only.
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in local_names
+            ):
+                yield ctx.violation(
+                    rule,
+                    node,
+                    f"module-level access to thread-local "
+                    f"{node.value.id!r} — attributes bound at import time "
+                    "exist only on the importing thread",
+                )
+
+
+RULES = (
+    Rule(
+        id="RPR011",
+        title="lock-guarded attribute mutated without the lock",
+        rationale="a class that guards an attribute's mutations with a "
+        "lock anywhere promises every mutation is guarded; one unguarded "
+        "write (a lost increment, a torn LRU update) is a data race no "
+        "single-threaded test can see.",
+        fixit="wrap the mutation in the class's `with self._lock:` block "
+        "(the same lock the other mutation sites take)",
+        check=check_guarded_mutations,
+    ),
+    Rule(
+        id="RPR012",
+        title="reaching into another object's private lock",
+        rationale="`other._lock` couples the caller to the owner's "
+        "locking internals: renaming the lock, splitting it, or changing "
+        "its granularity silently unguards every outside toucher.",
+        fixit="add a method on the owning class that takes its own lock "
+        "(e.g. Histogram.summary()) and call that instead",
+        check=check_foreign_locks,
+    ),
+    Rule(
+        id="RPR013",
+        title="blocking call while holding a lock",
+        rationale="a lock held across socket I/O, future waits, pool "
+        "submission, sleeps or an index build turns one slow operation "
+        "into a pile-up of every thread needing that lock — the serving "
+        "stack's tail latency dies first, then deadlock risk follows.",
+        fixit="take what you need under the lock, release it, then do "
+        "the blocking work; a deliberate hold (e.g. the singleflight "
+        "builder) carries `# repro: noqa RPR013 <why>`",
+        check=check_blocking_under_lock,
+    ),
+    Rule(
+        id="RPR014",
+        title="thread-local ambient state outside module accessors",
+        rationale="ambient state (current tracer, governance policy) "
+        "works because exactly one module owns each threading.local and "
+        "mediates access; foreign imports or instance-held locals "
+        "re-create untracked shared state.",
+        fixit="declare `_STATE = threading.local()` at module level and "
+        "route every read/write through that module's accessor functions "
+        "(current_x()/set_x()/use())",
+        check=check_threadlocal_discipline,
+    ),
+)

@@ -249,8 +249,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--select", action="append", metavar="RPRxxx",
                       help="run only the listed rule ids "
                            "(repeatable, comma-separated)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      help="output format (default: text)")
+    lint.add_argument("--format", choices=("text", "json", "github"),
+                      default="text",
+                      help="output format (default: text); 'github' emits "
+                           "workflow-command annotations for CI")
     lint.add_argument("--statistics", action="store_true",
                       help="print per-rule violation counts")
     lint.add_argument("--list-rules", action="store_true",

@@ -35,11 +35,11 @@ makes every span a no-op, keeping the un-traced path unchanged.
 
 from __future__ import annotations
 
-import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.analysis.concurrency import tracked_lock
 from repro.analysis.sanitizer import (
     maybe_check_prepared_index,
     maybe_check_probe_accounting,
@@ -235,7 +235,7 @@ class PreparedIndex(ABC):
         # the cumulative stats) so a cache-resident index served to many
         # concurrent request threads never drops a batch.  Probing itself
         # is read-only over the index structures and runs unlocked.
-        self._accounting_lock = threading.Lock()
+        self._accounting_lock = tracked_lock("core.accounting")
 
     # ------------------------------------------------------------------
     # Probing
@@ -313,7 +313,11 @@ class PreparedIndex(ABC):
     def _target(self, stats: JoinStats | None) -> JoinStats:
         """Resolve the stats object a raw :meth:`probe` should write to."""
         if stats is None:
-            self._probe_records += 1
+            # _probe_records is accounting shared with probe_many's
+            # locked batch bookkeeping; a raw probe must take the same
+            # lock or concurrent batches can drop its increment (RPR011).
+            with self._accounting_lock:
+                self._probe_records += 1
             return self._cumulative
         return stats
 
@@ -375,7 +379,7 @@ class PreparedIndex(ABC):
 
     def __setstate__(self, state: dict[str, Any]) -> None:
         self.__dict__.update(state)
-        self._accounting_lock = threading.Lock()
+        self._accounting_lock = tracked_lock("core.accounting")
 
     # ------------------------------------------------------------------
     # Introspection

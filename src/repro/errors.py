@@ -70,6 +70,19 @@ class SanitizerError(ReproError):
         self.path = path
 
 
+class LockOrderError(ReproError):
+    """The runtime race detector caught a lock-discipline violation.
+
+    Raised by :mod:`repro.analysis.concurrency` (``REPRO_RACEDETECT=1``)
+    when a thread acquires tracked locks against the established
+    acquisition order (a cycle in the lock-order graph — a potential
+    deadlock), or re-enters a non-reentrant tracked lock on the same
+    thread (a guaranteed deadlock).  The message carries both acquisition
+    stacks: the one raising now and the one that established the
+    conflicting edge.
+    """
+
+
 class WorkerError(ReproError):
     """A parallel-join worker failed (crashed, died, or returned bad data)."""
 

@@ -34,10 +34,10 @@ contract.
 from __future__ import annotations
 
 import os
-import threading
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.analysis.concurrency import tracked_lock
 from repro.kernels.base import KernelBackend, KernelUnavailableError, SignaturePack
 from repro.kernels.numpy_backend import NumpyKernel
 from repro.kernels.python_backend import PythonKernel
@@ -64,7 +64,11 @@ ENV_VAR = "REPRO_KERNEL"
 #: Auto-selection preference, best first.
 AUTO_ORDER = ("numpy", "python")
 
-_lock = threading.Lock()
+# Registry lock: guards the factory/instance tables and default
+# resolution.  Tracked under REPRO_RACEDETECT; it must stay a leaf in the
+# documented lock order (docs/ANALYSIS.md) — nothing under it may call
+# back out of the registry.
+_lock = tracked_lock("kernels.registry")
 _factories: dict[str, Callable[[], KernelBackend]] = {}
 _instances: dict[str, KernelBackend] = {}
 #: Resolved default backend name, or None if not yet resolved.

@@ -25,6 +25,8 @@ from __future__ import annotations
 import threading
 from typing import Mapping, MutableMapping
 
+from repro.analysis.concurrency import tracked_lock
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -117,6 +119,18 @@ class Histogram:
             if hi > self.max:
                 self.max = hi
 
+    def summary(self) -> tuple[int, float, float, float]:
+        """A consistent ``(count, total, min, max)`` reading.
+
+        The four fields are taken under the instrument's own lock, so a
+        concurrent :meth:`observe` can never produce a torn view (a count
+        that includes an observation whose total does not).  This is the
+        only sanctioned way to read a histogram from outside — snapshot
+        and merge paths must not reach for ``hist._lock`` (rule RPR012).
+        """
+        with self._lock:
+            return self.count, self.total, self.min, self.max
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -143,7 +157,12 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
-        self._lock = threading.Lock()
+        # The creation lock is tracked under REPRO_RACEDETECT (it is
+        # acquired from request threads, cache internals and lock-release
+        # paths, so its ordering matters) but carries no hold-time
+        # registry: a registry stamping hold times into itself while its
+        # instrument table is mid-creation would recurse.
+        self._lock = tracked_lock("metrics.registry")
 
     def counter(self, name: str) -> Counter:
         """The counter ``name``, created on first use."""
@@ -190,8 +209,7 @@ class MetricsRegistry:
         for name, gauge in list(self._gauges.items()):
             out[name] = gauge.value
         for name, hist in list(self._histograms.items()):
-            with hist._lock:
-                count, total, lo, hi = hist.count, hist.total, hist.min, hist.max
+            count, total, lo, hi = hist.summary()
             out[f"{name}.count"] = float(count)
             out[f"{name}.sum"] = total
             if count:
@@ -217,9 +235,7 @@ class MetricsRegistry:
         for name, gauge in list(other._gauges.items()):
             self.gauge(name).set(gauge.value)
         for name, hist in list(other._histograms.items()):
-            with hist._lock:
-                count, total, lo, hi = hist.count, hist.total, hist.min, hist.max
-            self.histogram(name)._fold(count, total, lo, hi)
+            self.histogram(name)._fold(*hist.summary())
 
     def reset(self) -> None:
         """Drop every instrument (isolation between runs/tests)."""

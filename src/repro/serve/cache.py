@@ -34,10 +34,10 @@ server, so the policy is testable in isolation.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Any, Callable, Iterator, TypeVar
 
+from repro.analysis.concurrency import tracked_lock
 from repro.errors import AlgorithmError
 from repro.obs.clock import monotonic
 from repro.obs.metrics import MetricsRegistry
@@ -112,7 +112,7 @@ class IndexCache:
         self._clock = clock or monotonic
         self.registry = registry if registry is not None else MetricsRegistry()
         self._entries: OrderedDict[str, _Entry] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("cache.lock", registry=self.registry)
         # Create the instruments up front so a stats snapshot exposes
         # them (as zeros) before the first hit/miss/eviction happens.
         for counter in ("cache.hits", "cache.misses", "cache.evictions", "cache.expirations"):
@@ -120,8 +120,10 @@ class IndexCache:
         self.registry.gauge("cache.size").set(0)
         # Per-key build locks (singleflight): misses on the same key
         # coalesce into one build, misses on different keys run in
-        # parallel.  Guarded by _lock; entries removed once built.
-        self._building: dict[str, threading.Lock] = {}
+        # parallel.  Guarded by _lock; every holder removes its own entry
+        # on the way out (see _release_slot), so the map is empty
+        # whenever no build is in flight.
+        self._building: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Core map operations
@@ -186,24 +188,49 @@ class IndexCache:
         value = self.get(key)
         if value is not None:
             return value, True
+        build_lock = self._build_slot(key)
+        try:
+            with build_lock:
+                # Double-check: a concurrent holder may have built it
+                # while this thread waited on the key lock.
+                value = self._lookup(key, count_miss=False)
+                if value is not None:
+                    return value, True
+                value = builder()  # repro: noqa RPR013 the per-key singleflight lock exists precisely to serialize this build; the cache-wide lock is not held here
+                self.put(key, value)
+                return value, False
+        finally:
+            self._release_slot(key, build_lock)
+
+    def _build_slot(self, key: str) -> Any:
+        """The per-key singleflight lock for ``key``, creating it if
+        absent.  A test seam: interleaving tests override this to pin a
+        thread in the window between its miss and its slot lookup."""
         with self._lock:
             build_lock = self._building.get(key)
             if build_lock is None:
-                build_lock = threading.Lock()
+                build_lock = tracked_lock("cache.build", registry=self.registry)
                 self._building[key] = build_lock
-        with build_lock:
-            # Double-check: a concurrent holder may have built it while
-            # this thread waited on the key lock.
-            value = self._lookup(key, count_miss=False)
-            if value is not None:
-                return value, True
-            try:
-                value = builder()
-                self.put(key, value)
-            finally:
-                with self._lock:
-                    self._building.pop(key, None)
-        return value, False
+            return build_lock
+
+    def _release_slot(self, key: str, build_lock: Any) -> None:
+        """Drop ``key``'s singleflight entry if it is still ours.
+
+        Every get_or_build caller releases the slot it looked up, so the
+        map cannot leak: even a late waiter that re-inserted a fresh lock
+        after the winner cleaned up removes its own insertion on exit.
+        The identity check keeps a slow old waiter from deleting a *new*
+        build's entry out from under it.
+        """
+        with self._lock:
+            if self._building.get(key) is build_lock:
+                del self._building[key]
+
+    def pending_builds(self) -> tuple[str, ...]:
+        """Keys with a singleflight build slot outstanding (tests assert
+        this drains back to empty)."""
+        with self._lock:
+            return tuple(self._building)
 
     # ------------------------------------------------------------------
     # Maintenance and introspection

@@ -43,6 +43,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Mapping
 
+from repro.analysis.concurrency import tracked_lock
 from repro.core.registry import canonical_name, choose_algorithm_name, plan
 from repro.errors import OverCapacityError, ProtocolError
 from repro.governance.deadline import Deadline
@@ -144,9 +145,9 @@ class JoinServer:
         self._accept_thread: threading.Thread | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._connections: set[socket.socket] = set()
-        self._conn_lock = threading.Lock()
+        self._conn_lock = tracked_lock("server.connections", registry=self.registry)
         self._inflight = 0
-        self._inflight_lock = threading.Lock()
+        self._inflight_lock = tracked_lock("server.inflight", registry=self.registry)
         self._stopping = threading.Event()
         self._stop_requested = threading.Event()
         self._started_at = 0.0

@@ -5,8 +5,14 @@ with failure-injecting proxies (crash, hard death, hang, corrupt output)
 whose triggers fire a fixed number of times across *all* processes, so
 every recovery path of :class:`~repro.exec.resilient.ResilientParallelJoin`
 can be exercised without flaky timing or randomness.
+
+:mod:`repro.testing.schedules` scripts thread interleavings as data
+(:class:`~repro.testing.schedules.Schedule`), so the concurrency suite
+can force the exact orderings — singleflight coalescing, admission
+races, shutdown vs. in-flight requests — it claims to test.
 """
 
+from repro.testing.schedules import Schedule, ScheduleError
 from repro.testing.faults import (
     CorruptingIndex,
     CountdownCancelToken,
@@ -29,4 +35,6 @@ __all__ = [
     "SkewedClock",
     "CountdownCancelToken",
     "SteppingSampler",
+    "Schedule",
+    "ScheduleError",
 ]

@@ -1,0 +1,174 @@
+"""Deterministic two-thread interleaving schedules for concurrency tests.
+
+Races are timing bugs, and tests that "usually" catch them are worse
+than none — a green run proves nothing and a red run won't reproduce.
+:class:`Schedule` turns an interleaving into data: a script of
+``(actor, label)`` steps that must happen in exactly that order.  Worker
+code (or a test seam inside production code, like
+``IndexCache._build_slot`` or the server's ``request_hook``) calls
+:meth:`Schedule.point`, which blocks until every earlier scripted step
+has happened — so the one interleaving under test is the one that runs,
+every time, on any machine.
+
+Two deliberate softenings keep scripts small:
+
+* a ``point`` whose ``(actor, label)`` does not appear in the remaining
+  script passes straight through, so shared code paths can carry points
+  that only some scenarios pin down;
+* once the script is exhausted every point passes through — the script
+  pins the *prefix* that matters and lets threads free-run to completion.
+
+A step that never arrives trips ``timeout_seconds`` and raises
+:class:`ScheduleError` on every waiting thread (and on :meth:`run`'s
+caller) instead of hanging the suite; a worker that raises marks the
+schedule failed so its peers unblock immediately.
+
+The harness is two primitives (a scripted rendezvous and a thread
+runner) on ``threading.Condition`` — deliberately not a model checker;
+it makes the handful of interleavings the serving stack worries about
+(singleflight coalescing, admission accounting, registry initialization,
+shutdown vs. in-flight requests) reproducible, which is what CI needs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.obs.clock import monotonic
+
+__all__ = ["Schedule", "ScheduleError"]
+
+
+class ScheduleError(ReproError):
+    """A scripted interleaving could not be driven to completion.
+
+    Raised when a scripted step never arrives within the timeout, when a
+    worker under :meth:`Schedule.run` raises (the worker's own exception
+    is re-raised to the caller; *peers* blocked on the schedule get this
+    instead), or when a run leaves script steps unconsumed.
+    """
+
+
+class Schedule:
+    """A scripted total order over named synchronization points.
+
+    Args:
+        steps: The script — ``(actor, label)`` pairs in the exact order
+            they must occur.
+        timeout_seconds: How long any single :meth:`point` may wait for
+            its turn before the whole schedule is failed.
+
+    Use :meth:`run` to drive named worker callables through the script,
+    or call :meth:`point` directly from test seams when the threads are
+    owned by production code (a server pool, a cache builder).
+    """
+
+    def __init__(
+        self, steps: Sequence[tuple[str, str]], timeout_seconds: float = 10.0
+    ) -> None:
+        self.steps = tuple((str(a), str(b)) for a, b in steps)
+        self.timeout_seconds = timeout_seconds
+        self._pos = 0
+        self._failure: str | None = None
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # The rendezvous primitive
+    # ------------------------------------------------------------------
+    def point(self, actor: str, label: str) -> None:
+        """Block until every scripted step before ``(actor, label)`` ran.
+
+        Consumes the step when it is the script head; passes through
+        immediately when the pair is absent from the remaining script.
+        """
+        step = (actor, label)
+        deadline = monotonic() + self.timeout_seconds
+        with self._cond:
+            while True:
+                if self._failure is not None:
+                    raise ScheduleError(
+                        f"schedule already failed: {self._failure} "
+                        f"(while {step!r} was arriving)"
+                    )
+                remaining_script = self.steps[self._pos :]
+                if not remaining_script or step not in remaining_script:
+                    return
+                if remaining_script[0] == step:
+                    self._pos += 1
+                    self._cond.notify_all()
+                    return
+                remaining_time = deadline - monotonic()
+                if remaining_time <= 0:
+                    self._failure = (
+                        f"step {step!r} timed out after "
+                        f"{self.timeout_seconds}s waiting for "
+                        f"{remaining_script[0]!r} (position {self._pos})"
+                    )
+                    self._cond.notify_all()
+                    raise ScheduleError(self._failure)
+                self._cond.wait(remaining_time)
+
+    def fail(self, reason: str) -> None:
+        """Mark the schedule failed and wake every blocked point."""
+        with self._cond:
+            if self._failure is None:
+                self._failure = reason
+            self._cond.notify_all()
+
+    @property
+    def remaining(self) -> tuple[tuple[str, str], ...]:
+        """Script steps not yet consumed (empty once fully driven)."""
+        with self._cond:
+            return self.steps[self._pos :]
+
+    # ------------------------------------------------------------------
+    # The thread runner
+    # ------------------------------------------------------------------
+    def run(
+        self, workers: Mapping[str, Callable[[], Any]]
+    ) -> dict[str, Any]:
+        """Run every worker in its own (actor-named) thread to completion.
+
+        Returns ``{actor: return value}``.  A worker exception fails the
+        schedule (unblocking peers) and is re-raised here after every
+        thread has been joined; a script left partially consumed raises
+        :class:`ScheduleError` — the interleaving under test did not
+        actually happen, so whatever the workers observed proves nothing.
+        """
+        results: dict[str, Any] = {}
+        errors: dict[str, BaseException] = {}
+
+        def _invoke(name: str, fn: Callable[[], Any]) -> None:
+            try:
+                results[name] = fn()
+            except BaseException as exc:  # re-raised to run()'s caller below
+                errors[name] = exc
+                self.fail(f"worker {name!r} raised {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(
+                target=_invoke, args=(name, fn), name=f"schedule-{name}"
+            )
+            for name, fn in workers.items()
+        ]
+        for thread in threads:
+            thread.start()
+        join_deadline = monotonic() + self.timeout_seconds * (len(self.steps) + 1)
+        for thread in threads:
+            thread.join(max(0.0, join_deadline - monotonic()))
+        alive = [t.name for t in threads if t.is_alive()]
+        if alive:
+            self.fail(f"threads still alive at join deadline: {alive}")
+            raise ScheduleError(
+                f"worker thread(s) never finished: {', '.join(alive)}"
+            )
+        if errors:
+            actor = sorted(errors)[0]
+            raise errors[actor]
+        if self.remaining:
+            raise ScheduleError(
+                f"script not fully consumed; remaining steps: {self.remaining}"
+            )
+        return results

@@ -1,0 +1,33 @@
+"""RPR011 fixture (bad): lock-guarded attributes mutated without the lock."""
+
+import threading
+
+
+class BatchCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._calls = 0
+        self._records = []
+
+    def record_batch(self, rids):
+        with self._lock:
+            self._calls += 1
+            self._records.extend(rids)
+
+    def record_raw(self, rid):
+        # Same attributes as record_batch, no lock: a lost-update race.
+        self._calls += 1
+        self._records.append(rid)
+
+
+class ResidencyMap:
+    def __init__(self):
+        self._table_lock = threading.Lock()
+        self._entries = {}
+
+    def insert(self, key, value):
+        with self._table_lock:
+            self._entries[key] = value
+
+    def drop(self, key):
+        del self._entries[key]

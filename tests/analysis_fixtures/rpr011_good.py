@@ -1,0 +1,43 @@
+"""RPR011 fixture (good): every guarded attribute mutates under its lock."""
+
+import threading
+
+
+class BatchCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._calls = 0
+        self._records = []
+
+    def record_batch(self, rids):
+        with self._lock:
+            self._calls += 1
+            self._records.extend(rids)
+
+    def record_raw(self, rid):
+        with self._lock:
+            self._calls += 1
+            self._records.append(rid)
+
+    def describe(self):
+        # Reads stay unflagged: torn reads are the caller's explicit
+        # trade-off, lost writes are not.
+        return self._calls
+
+    def rename(self, label):
+        # Unguarded attributes never join the contract.
+        self.label = label
+
+
+class ResidencyMap:
+    def __init__(self):
+        self._table_lock = threading.Lock()
+        self._entries = {}
+
+    def insert(self, key, value):
+        with self._table_lock:
+            self._entries[key] = value
+
+    def drop(self, key):
+        with self._table_lock:
+            del self._entries[key]

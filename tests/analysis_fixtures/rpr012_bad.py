@@ -1,0 +1,14 @@
+"""RPR012 fixture (bad): callers reaching into other objects' private locks."""
+
+
+def snapshot(hist):
+    with hist._lock:
+        return hist.count, hist.total
+
+
+def pause(cache):
+    cache._table_lock.acquire()
+
+
+def steal(registry):
+    return registry._lock

@@ -1,0 +1,29 @@
+"""RPR012 fixture (good): owners expose locked methods; callers use them."""
+
+import threading
+
+
+class Instrument:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value):
+        with self._lock:
+            self.count += 1
+            self.total += value
+
+    def summary(self):
+        # The owner takes its own lock; self._lock is sanctioned.
+        with self._lock:
+            return self.count, self.total
+
+    @classmethod
+    def shared(cls):
+        # cls-qualified locks are the class's own too.
+        return cls._class_lock
+
+
+def snapshot(hist):
+    return hist.summary()

@@ -1,0 +1,16 @@
+"""RPR013 fixture (bad): blocking work performed while holding a lock."""
+
+
+class Server:
+    def flush(self, fut):
+        with self._lock:
+            return fut.result()
+
+    def refresh(self, plan, s):
+        with self._cache_lock:
+            self.index = prepare_from_plan(plan, s)
+
+
+def drain(queue_lock, sock):
+    with queue_lock:
+        sock.sendall(b"payload")

@@ -1,0 +1,35 @@
+"""RPR013 fixture (good): snapshot under the lock, block outside it."""
+
+import threading
+
+
+class Server:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cache_lock = threading.Lock()
+        self.index = None
+        self.pending = []
+
+    def flush(self, fut):
+        with self._lock:
+            self.pending.clear()
+        return fut.result()
+
+    def refresh(self, plan, s, build):
+        fresh = build(plan, s)
+        with self._cache_lock:
+            self.index = fresh
+
+    def coalesce(self, build):
+        with self._cache_lock:
+            self.index = build()  # repro: noqa RPR013 singleflight: this lock exists to serialize the build
+
+    def snapshot(self):
+        with self._lock:
+            return list(self.pending)
+
+
+def drain(queue_lock, sock):
+    with queue_lock:
+        payload = b"payload"
+    sock.sendall(payload)

@@ -1,0 +1,20 @@
+"""RPR014 fixture (bad): thread-local ambient state escaping its module."""
+
+import threading
+
+from repro.obs.tracer import _STATE
+
+import repro.governance.policy as policy_module
+
+
+class RequestContext:
+    def __init__(self):
+        self._tls = threading.local()
+
+
+def hijack(policy):
+    policy_module._STATE.policy = policy
+
+
+_AMBIENT = threading.local()
+_AMBIENT.user = "import-thread-only"

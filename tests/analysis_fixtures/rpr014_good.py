@@ -1,0 +1,22 @@
+"""RPR014 fixture (good): one module-level local behind accessor functions."""
+
+import threading
+
+_AMBIENT = threading.local()
+
+
+def current_user():
+    return getattr(_AMBIENT, "user", None)
+
+
+def set_user(user):
+    _AMBIENT.user = user
+
+
+def with_user(user, fn):
+    previous = current_user()
+    set_user(user)
+    try:
+        return fn()
+    finally:
+        set_user(previous)

@@ -40,6 +40,10 @@ RULE_FIXTURES = {
     "RPR008": ("rpr008", "repro.core.fixture", 1),
     "RPR009": ("rpr009", "repro.core.fixture", 3),
     "RPR010": ("rpr010", "repro.core.fixture", 3),
+    "RPR011": ("rpr011", "repro.serve.fixture", 3),
+    "RPR012": ("rpr012", "repro.obs.fixture", 3),
+    "RPR013": ("rpr013", "repro.serve.fixture", 3),
+    "RPR014": ("rpr014", "repro.core.fixture", 4),
 }
 
 

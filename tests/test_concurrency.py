@@ -1,0 +1,498 @@
+"""Tests for the runtime race detector and the interleaving harness.
+
+Covers the two PR-10 runtime pieces end to end:
+
+* :mod:`repro.analysis.concurrency` — the ``tracked_lock`` factory's
+  no-op fast path, re-entry detection, the process-wide lock-order graph
+  (two-lock and transitive cycles, stack naming, graph hygiene after a
+  raise), hold-time histograms, and the acceptance-criterion scenario: a
+  seeded cache-lock-then-metrics-lock inversion against the opposite
+  order, detected with both acquisition stacks named.
+* :mod:`repro.testing.schedules` — the scripted rendezvous (ordering,
+  pass-through, timeout, worker-failure propagation) and the three
+  scripted interleavings the issue names: IndexCache singleflight (the
+  late-inserter leak regression), admission-control inflight accounting,
+  and kernel-registry initialization.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.concurrency import (
+    TrackedLock,
+    enabled,
+    held_lock_names,
+    lock_order_edges,
+    reset_lock_order,
+    tracked_lock,
+)
+from repro.errors import LockOrderError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.cache import IndexCache
+from repro.serve.server import JoinServer
+from repro.testing.schedules import Schedule, ScheduleError
+
+from tests.conftest import oracle_pairs, random_relation
+
+
+@pytest.fixture
+def racedetect(monkeypatch):
+    """Arm the detector and isolate the process-wide order graph."""
+    monkeypatch.setenv("REPRO_RACEDETECT", "1")
+    reset_lock_order()
+    yield
+    reset_lock_order()
+
+
+# ----------------------------------------------------------------------
+# The factory: no-op fast path vs. tracked flavour
+# ----------------------------------------------------------------------
+def test_factory_returns_plain_stdlib_locks_when_disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_RACEDETECT", raising=False)
+    assert not enabled()
+    lock = tracked_lock("x")
+    assert not isinstance(lock, TrackedLock)
+    assert type(lock) is type(threading.Lock())
+    rlock = tracked_lock("x", reentrant=True)
+    assert not isinstance(rlock, TrackedLock)
+    with rlock:
+        with rlock:  # genuinely reentrant stdlib RLock
+            pass
+
+
+def test_factory_returns_tracked_locks_when_enabled(racedetect):
+    assert enabled()
+    lock = tracked_lock("x")
+    assert isinstance(lock, TrackedLock)
+    assert not lock.locked()
+    with lock:
+        assert lock.locked()
+        assert held_lock_names() == ("x",)
+    assert held_lock_names() == ()
+
+
+@pytest.mark.parametrize("value", ["0", "false", "no", "off", ""])
+def test_falsy_env_values_disable_the_detector(monkeypatch, value):
+    monkeypatch.setenv("REPRO_RACEDETECT", value)
+    assert not enabled()
+
+
+# ----------------------------------------------------------------------
+# Re-entry
+# ----------------------------------------------------------------------
+def test_same_thread_reentry_raises_instead_of_deadlocking(racedetect):
+    lock = tracked_lock("cache.lock")
+    with lock:
+        with pytest.raises(LockOrderError) as excinfo:
+            lock.acquire()
+    message = str(excinfo.value)
+    assert "re-entrant" in message
+    assert "cache.lock" in message
+    assert "test_same_thread_reentry" in message, "stack must name the caller"
+    # The failed acquisition must not have corrupted the held stack.
+    assert held_lock_names() == ()
+
+
+def test_reentrant_tracked_lock_allows_nesting(racedetect):
+    lock = tracked_lock("tree.lock", reentrant=True)
+    assert isinstance(lock, TrackedLock)
+    with lock:
+        with lock:
+            assert lock.locked()
+    assert not lock.locked()
+
+
+# ----------------------------------------------------------------------
+# The lock-order graph
+# ----------------------------------------------------------------------
+def _take_in_order(first, second):
+    with first:
+        with second:
+            pass
+
+
+def test_two_lock_inversion_raises_with_both_stacks(racedetect):
+    a = tracked_lock("a")
+    b = tracked_lock("b")
+    _take_in_order(a, b)
+    with pytest.raises(LockOrderError) as excinfo:
+        _take_in_order(b, a)
+    message = str(excinfo.value)
+    assert "'a'" in message and "'b'" in message
+    # Both acquisition stacks: the inverted one raising now and the one
+    # that established a -> b earlier.
+    assert message.count("_take_in_order") >= 2
+    assert "this acquisition" in message
+    assert "prior acquisition" in message
+
+
+def test_transitive_cycle_is_detected(racedetect):
+    a, b, c = tracked_lock("a"), tracked_lock("b"), tracked_lock("c")
+    _take_in_order(a, b)
+    _take_in_order(b, c)
+    with pytest.raises(LockOrderError) as excinfo:
+        _take_in_order(c, a)
+    assert "a -> b -> c" in str(excinfo.value)
+
+
+def test_consistent_order_never_raises_and_graph_records_edges(racedetect):
+    a, b = tracked_lock("a"), tracked_lock("b")
+    for _ in range(3):
+        _take_in_order(a, b)
+    assert lock_order_edges() == {"a": ("b",)}
+
+
+def test_detected_inversion_does_not_pollute_the_graph(racedetect):
+    a, b = tracked_lock("a"), tracked_lock("b")
+    _take_in_order(a, b)
+    with pytest.raises(LockOrderError):
+        _take_in_order(b, a)
+    # The offending edge was not inserted: the sanctioned order still
+    # works, and the lock released cleanly despite the raise.
+    _take_in_order(a, b)
+    assert lock_order_edges() == {"a": ("b",)}
+
+
+def test_same_name_locks_share_one_graph_node(racedetect):
+    # Every per-key cache.build lock is one node: an inversion between
+    # *any* build lock and the registry is caught across instances.
+    build1 = tracked_lock("cache.build")
+    build2 = tracked_lock("cache.build")
+    registry_lock = tracked_lock("metrics.registry")
+    _take_in_order(build1, registry_lock)
+    with pytest.raises(LockOrderError):
+        _take_in_order(registry_lock, build2)
+
+
+def test_hold_time_histogram_is_stamped(racedetect):
+    registry = MetricsRegistry()
+    lock = tracked_lock("server.inflight", registry=registry)
+    with lock:
+        pass
+    with lock:
+        pass
+    snapshot = registry.snapshot()
+    assert snapshot["lock.server.inflight.hold_seconds.count"] == 2.0
+    assert snapshot["lock.server.inflight.hold_seconds.sum"] >= 0.0
+
+
+def test_nonblocking_acquire_still_works(racedetect):
+    lock = tracked_lock("x")
+    assert lock.acquire(blocking=False)
+    try:
+        holder: list[bool] = []
+        thread = threading.Thread(
+            target=lambda: holder.append(lock.acquire(blocking=False))
+        )
+        thread.start()
+        thread.join(timeout=10)
+        assert holder == [False]
+    finally:
+        lock.release()
+
+
+# ----------------------------------------------------------------------
+# Acceptance criterion: seeded cache-lock vs. metrics-lock inversion
+# ----------------------------------------------------------------------
+def _seed_cache_then_metrics(cache, registry):
+    # Test-only fixture: the sanctioned order (docs/ANALYSIS.md) —
+    # cache internals may create instruments, never the reverse.
+    with cache._lock:
+        with registry._lock:
+            pass
+
+
+def _invert_metrics_then_cache(cache, registry):
+    with registry._lock:
+        with cache._lock:
+            pass
+
+
+def test_seeded_cache_metrics_inversion_names_both_stacks(racedetect):
+    registry = MetricsRegistry()
+    cache = IndexCache(4, registry=registry)
+    assert isinstance(cache._lock, TrackedLock)
+    assert isinstance(registry._lock, TrackedLock)
+    _seed_cache_then_metrics(cache, registry)
+    with pytest.raises(LockOrderError) as excinfo:
+        _invert_metrics_then_cache(cache, registry)
+    message = str(excinfo.value)
+    assert "cache.lock" in message
+    assert "metrics.registry" in message
+    assert "_invert_metrics_then_cache" in message, "raising stack missing"
+    assert "_seed_cache_then_metrics" in message, "prior stack missing"
+
+
+def test_real_cache_traffic_is_clean_under_the_detector(racedetect):
+    """A built-probed-evicted cache establishes only the sanctioned order."""
+    registry = MetricsRegistry()
+    cache = IndexCache(2, ttl_seconds=10.0, registry=registry)
+    for key in ("a", "b", "c"):
+        value, hit = cache.get_or_build(key, lambda: key.upper())
+        assert not hit
+    cache.get("a")
+    cache.evict_expired()
+    cache.clear()
+    edges = lock_order_edges()
+    assert "metrics.registry" not in edges, (
+        "nothing may acquire under the registry lock"
+    )
+
+
+# ----------------------------------------------------------------------
+# The Schedule harness
+# ----------------------------------------------------------------------
+def test_schedule_enforces_the_scripted_order():
+    # Each write is bracketed by a begin/end step pair, so the script
+    # serializes the writes themselves — same trace on every run.
+    script = [
+        ("a", "w1"), ("a", "d1"),
+        ("b", "w2"), ("b", "d2"),
+        ("a", "w3"), ("a", "d3"),
+    ]
+    for _ in range(5):  # deterministic: same order every run
+        sched = Schedule(script, timeout_seconds=30)
+        trace: list[str] = []
+
+        def actor(name, writes):
+            def run():
+                for step, value in writes:
+                    sched.point(name, f"w{step}")
+                    trace.append(value)
+                    sched.point(name, f"d{step}")
+
+            return run
+
+        sched.run(
+            {
+                "a": actor("a", [(1, "a1"), (3, "a3")]),
+                "b": actor("b", [(2, "b2")]),
+            }
+        )
+        assert trace == ["a1", "b2", "a3"]
+        assert sched.remaining == ()
+
+
+def test_unscripted_points_pass_through():
+    sched = Schedule([("a", "only")], timeout_seconds=30)
+    sched.point("b", "never-scripted")  # returns immediately
+    sched.point("a", "only")
+    assert sched.remaining == ()
+    sched.point("a", "only")  # script exhausted: free-run
+
+
+def test_schedule_timeout_raises_instead_of_hanging():
+    sched = Schedule([("ghost", "never"), ("a", "later")], timeout_seconds=0.2)
+    with pytest.raises(ScheduleError, match="timed out"):
+        sched.point("a", "later")
+
+
+def test_worker_exception_fails_the_schedule_and_unblocks_peers():
+    sched = Schedule([("a", "go"), ("b", "after")], timeout_seconds=30)
+
+    def bad_actor():
+        raise ValueError("worker exploded")
+
+    def blocked_actor():
+        sched.point("b", "after")  # would wait on ("a", "go") forever
+
+    with pytest.raises(ValueError, match="worker exploded"):
+        sched.run({"a": bad_actor, "b": blocked_actor})
+
+
+def test_unconsumed_script_is_an_error():
+    sched = Schedule([("a", "never-reached")], timeout_seconds=30)
+    with pytest.raises(ScheduleError, match="not fully consumed"):
+        sched.run({"b": lambda: None})
+
+
+# ----------------------------------------------------------------------
+# Scripted interleaving: IndexCache singleflight
+# ----------------------------------------------------------------------
+class _SlotScheduledCache(IndexCache):
+    """Cache whose slot lookup parks on a schedule point — pins a thread
+    in the window between its miss and its singleflight-slot lookup."""
+
+    def __init__(self, sched: Schedule, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._sched = sched
+
+    def _build_slot(self, key: str):
+        actor = threading.current_thread().name.removeprefix("schedule-")
+        # "miss" marks that the caller is past its cache miss; "slot" is
+        # where a script can park it before the singleflight-map lookup.
+        self._sched.point(actor, "miss")
+        self._sched.point(actor, "slot")
+        return super()._build_slot(key)
+
+
+def test_singleflight_late_inserter_cleans_up_its_slot(racedetect):
+    """The historical `_building` leak, deterministically.
+
+    The late thread misses, then stalls before looking up the build
+    slot; the winner builds, publishes and removes its slot entirely.
+    The late thread then inserts a *fresh* slot lock, double-checks into
+    a hit — and must remove its own insertion on the way out, or the
+    map leaks one lock per occurrence forever.
+    """
+    sched = Schedule(
+        [
+            ("late", "miss"),  # late is past its cache miss, parked
+            ("winner", "slot"),  # winner builds + publishes + cleans up
+            ("winner", "built"),
+            ("late", "slot"),  # late resumes into an empty build map
+        ],
+        timeout_seconds=30,
+    )
+    registry = MetricsRegistry()
+    cache = _SlotScheduledCache(sched, 4, registry=registry)
+    builds: list[str] = []
+
+    def builder():
+        builds.append(threading.current_thread().name)
+        return "value"
+
+    def winner():
+        result = cache.get_or_build("k", builder)
+        sched.point("winner", "built")
+        return result
+
+    def late():
+        return cache.get_or_build("k", builder)
+
+    results = sched.run({"winner": winner, "late": late})
+    assert results["winner"] == ("value", False)
+    assert results["late"] == ("value", True), "late thread must hit"
+    assert builds == ["schedule-winner"], "exactly one build"
+    assert cache.pending_builds() == (), "late inserter leaked its slot"
+
+
+def test_coalesced_waiters_leave_no_slot_behind():
+    sched = Schedule([], timeout_seconds=30)
+    cache = _SlotScheduledCache(sched, 4)
+    barrier = threading.Barrier(4)
+    builds: list[int] = []
+
+    def worker():
+        barrier.wait(timeout=30)
+        value, _hit = cache.get_or_build("k", lambda: builds.append(1) or "v")
+        return value
+
+    results = sched.run({f"w{i}": worker for i in range(4)})
+    assert set(results.values()) == {"v"}
+    assert len(builds) == 1
+    assert cache.pending_builds() == ()
+
+
+# ----------------------------------------------------------------------
+# Scripted interleaving: admission-control inflight accounting
+# ----------------------------------------------------------------------
+def test_admission_inflight_accounting_interleaved(racedetect):
+    """Two admissions interleaved with observer reads: the counter and
+    gauge step 0 → 1 → 2 → 0 with no torn states visible."""
+    # The hook fires *after* admission, so the script gates the second
+    # SEND (not just its hook) behind the observer's first read — the
+    # hook then pins each admitted request until the observer has seen
+    # the count it produced.
+    sched = Schedule(
+        [
+            ("req0", "admitted"),
+            ("main", "saw-one"),  # exactly req0 in flight here
+            ("req1", "send"),
+            ("req1", "admitted"),
+            ("main", "saw-two"),  # both pinned in their hooks here
+            ("req0", "hold"),
+            ("req1", "hold"),
+        ],
+        timeout_seconds=30,
+    )
+    admitted: list = []
+    admitted_lock = threading.Lock()
+
+    def hook(frame):
+        with admitted_lock:
+            index = len(admitted)
+            admitted.append(frame.get("id"))
+        sched.point(f"req{index}", "admitted")
+        sched.point(f"req{index}", "hold")
+
+    srv = JoinServer(max_connections=4, max_inflight=2, request_hook=hook)
+    srv.start()
+    try:
+        r = random_relation(10, 4, 20, seed=31)
+        s = random_relation(10, 3, 20, seed=32, min_cardinality=1)
+        expected = sorted(oracle_pairs(r, s))
+
+        def request_worker(actor):
+            from repro.serve import JoinClient
+
+            def run():
+                sched.point(actor, "send")  # pass-through for req0
+                with JoinClient(address=srv.address) as client:
+                    return JoinClient.pairs(client.probe(r, s))
+
+            return run
+
+        def observer():
+            sched.point("main", "saw-one")
+            first = srv.inflight
+            gauge_first = srv.registry.snapshot()["server.inflight"]
+            sched.point("main", "saw-two")
+            second = srv.inflight
+            gauge_second = srv.registry.snapshot()["server.inflight"]
+            return (first, gauge_first, second, gauge_second)
+
+        results = sched.run(
+            {
+                "req0": request_worker("req0"),
+                "req1": request_worker("req1"),
+                "main": observer,
+            }
+        )
+        assert results["req0"] == expected
+        assert results["req1"] == expected
+        assert results["main"] == (1, 1.0, 2, 2.0)
+        assert srv.inflight == 0
+        assert srv.registry.snapshot()["server.inflight"] == 0.0
+    finally:
+        srv.request_hook = None
+        srv.stop()
+
+
+# ----------------------------------------------------------------------
+# Scripted interleaving: kernel-registry initialization
+# ----------------------------------------------------------------------
+def test_kernel_registry_concurrent_first_use_constructs_once(racedetect):
+    from repro import kernels
+    from repro.kernels.python_backend import PythonKernel
+
+    constructions: list[str] = []
+
+    def factory():
+        constructions.append(threading.current_thread().name)
+        return PythonKernel()
+
+    kernels.register_backend("race-probe", factory)
+    try:
+        sched = Schedule([("a", "start"), ("b", "start")], timeout_seconds=30)
+        barrier = threading.Barrier(2)
+
+        def resolver(actor):
+            def run():
+                sched.point(actor, "start")
+                barrier.wait(timeout=30)
+                return kernels.get_backend("race-probe")
+
+            return run
+
+        results = sched.run({"a": resolver("a"), "b": resolver("b")})
+        assert results["a"] is results["b"], "both threads share one instance"
+        assert len(constructions) == 1, "registry lock must dedupe construction"
+    finally:
+        # De-register the probe so later kernel tests see a pristine table.
+        with kernels._lock:
+            kernels._factories.pop("race-probe", None)
+            kernels._instances.pop("race-probe", None)

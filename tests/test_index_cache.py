@@ -180,6 +180,7 @@ def test_get_or_build_single_build_and_hit_accounting():
     value, hit = cache.get_or_build("k", builder)
     assert (value, hit) == ("value", True)
     assert len(builds) == 1
+    assert cache.pending_builds() == (), "singleflight slot map must drain"
     snapshot = registry.snapshot()
     assert snapshot["cache.misses"] == 1.0, "singleflight must not double-count"
     assert snapshot["cache.hits"] == 1.0
@@ -209,6 +210,7 @@ def test_get_or_build_concurrent_misses_build_once():
     assert len(builds) == 1, "concurrent misses on one key must coalesce"
     assert all(value == "value" for value, _ in results)
     assert sum(1 for _, hit in results if not hit) == 1
+    assert cache.pending_builds() == (), "singleflight slot map must drain"
 
 
 def test_failing_builder_installs_nothing_and_retries():
@@ -225,6 +227,9 @@ def test_failing_builder_installs_nothing_and_retries():
     value, hit = cache.get_or_build("k", lambda: "ok")
     assert (value, hit) == ("ok", False)
     assert len(attempts) == 1
+    assert cache.pending_builds() == (), (
+        "a failed build must release its singleflight slot"
+    )
 
 
 def test_cache_rejects_bad_configuration():

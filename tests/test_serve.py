@@ -375,6 +375,67 @@ def test_shutdown_op_stops_the_server():
         _client(srv)
 
 
+def test_scheduled_shutdown_during_inflight_probe_completes_the_probe():
+    """Shutdown racing an in-flight probe, as a scripted interleaving.
+
+    The script pins the probe between admission and execution while a
+    second connection sends ``shutdown`` and receives its ack — then
+    releases the probe.  The ack-before-stop ordering means the probe's
+    connection keeps draining: its reply must still arrive correct, and
+    the shutdown must leave no thread, socket or inflight count behind.
+    """
+    from repro.testing import Schedule
+
+    sched = Schedule(
+        [
+            ("probe", "admitted"),
+            ("main", "send-shutdown"),
+            ("main", "shutdown-acked"),
+            ("probe", "resume"),
+        ],
+        timeout_seconds=30,
+    )
+
+    def hook(frame):
+        sched.point("probe", "admitted")
+        sched.point("probe", "resume")
+
+    threads_before = set(threading.enumerate())
+    srv = JoinServer(max_connections=4, request_hook=hook)
+    srv.start()
+    try:
+        r = random_relation(20, 4, 30, seed=71)
+        s = random_relation(20, 3, 30, seed=72, min_cardinality=1)
+        expected = sorted(oracle_pairs(r, s))
+
+        def probe_worker():
+            with _client(srv) as client:
+                return JoinClient.pairs(client.probe(r, s))
+
+        def main_worker():
+            sched.point("main", "send-shutdown")  # probe is admitted now
+            with _client(srv) as control:
+                assert control.shutdown(), "shutdown must be acked"
+            inflight_at_ack = srv.inflight
+            stop_signalled = srv.wait(timeout=10)
+            sched.point("main", "shutdown-acked")
+            return inflight_at_ack, stop_signalled
+
+        results = sched.run({"probe": probe_worker, "main": main_worker})
+        assert results["probe"] == expected, "in-flight probe reply corrupted"
+        inflight_at_ack, stop_signalled = results["main"]
+        assert inflight_at_ack == 1, "probe should still be in flight at ack"
+        assert stop_signalled, "shutdown ack must signal the stop event"
+        assert srv.inflight == 0
+        assert srv.registry.snapshot()["server.inflight"] == 0.0
+    finally:
+        srv.request_hook = None
+        srv.stop()
+    leaked = set(threading.enumerate()) - threads_before
+    assert not leaked, f"leaked threads: {[t.name for t in leaked]}"
+    assert not srv._connections, "leaked connection sockets"
+
+
 def test_stop_is_idempotent_and_context_manager_cleans_up():
     threads_before = set(threading.enumerate())
     with JoinServer() as srv:
